@@ -1,0 +1,151 @@
+//! Synthetic base-graph variants exercising the structural generality of
+//! the path-routing technique: disconnected decoding graphs, suppressed
+//! copying, violated single-use assumption.
+//!
+//! These transformations preserve correctness (each is tested against the
+//! tensor) while changing exactly the structural property named, so the
+//! lower-bound machinery can be exercised on every case the paper's
+//! Section 6 enumerates.
+
+use mmio_cdag::base::Side;
+use mmio_cdag::BaseGraph;
+use mmio_matrix::{Matrix, Rational};
+
+/// Adds a dummy product `(a·x)·(b·z)` whose decoding coefficients are all
+/// zero. The algorithm stays correct, `b` grows by one, and the decoding
+/// graph acquires an isolated vertex — i.e. it becomes *disconnected*,
+/// the first failure case of the edge-expansion technique.
+pub fn with_dummy_product(base: &BaseGraph) -> BaseGraph {
+    let (a, b) = (base.a(), base.b());
+    let grow = |m: &Matrix<Rational>| {
+        Matrix::from_fn(b + 1, a, |row, col| {
+            if row < b {
+                m[(row, col)]
+            } else if col == 0 {
+                // Nontrivial combination (coefficient 2) so the dummy row
+                // does not add copying and cannot collide with a real row.
+                Rational::integer(2)
+            } else {
+                Rational::ZERO
+            }
+        })
+    };
+    let dec = Matrix::from_fn(a, b + 1, |row, col| {
+        if col < b {
+            base.dec()[(row, col)]
+        } else {
+            Rational::ZERO
+        }
+    });
+    BaseGraph::new(
+        format!("{}+dummy", base.name()),
+        base.n0(),
+        grow(base.enc(Side::A)),
+        grow(base.enc(Side::B)),
+        dec,
+    )
+}
+
+/// Rescales every encoding row by 2 (compensated by `1/4` in the decoder).
+/// Correctness is preserved, but no row is trivial anymore: the resulting
+/// CDAG has **no copying at all** (every meta-vertex is a singleton).
+pub fn without_copying(base: &BaseGraph) -> BaseGraph {
+    let two = Rational::integer(2);
+    let quarter = Rational::new(1, 4);
+    BaseGraph::new(
+        format!("{}-nocopy", base.name()),
+        base.n0(),
+        base.enc(Side::A).scale(two),
+        base.enc(Side::B).scale(two),
+        base.dec().scale(quarter),
+    )
+}
+
+/// Duplicates product 0 and splits its decoding coefficients evenly across
+/// the two copies. Correct, but the (nontrivial) combinations of product 0
+/// now feed two multiplications — **violating the paper's single-use
+/// assumption**. Used to test that the assumption checker catches it.
+///
+/// # Panics
+/// Panics if row 0 of either encoding is trivial (then the duplicate would
+/// be copying, not a violation).
+pub fn with_duplicated_combination(base: &BaseGraph) -> BaseGraph {
+    assert!(
+        !base.row_is_trivial(Side::A, 0) && !base.row_is_trivial(Side::B, 0),
+        "product 0 must use nontrivial combinations"
+    );
+    let (a, b) = (base.a(), base.b());
+    // Rows 0..b copied; row b duplicates row 0.
+    let grow = |m: &Matrix<Rational>| {
+        Matrix::from_fn(b + 1, a, |row, col| {
+            let src = if row == b { 0 } else { row };
+            m[(src, col)]
+        })
+    };
+    let half = Rational::new(1, 2);
+    let dec = Matrix::from_fn(a, b + 1, |row, col| {
+        if col == 0 || col == b {
+            base.dec()[(row, 0)] * half
+        } else {
+            base.dec()[(row, col)]
+        }
+    });
+    BaseGraph::new(
+        format!("{}+dup", base.name()),
+        base.n0(),
+        grow(base.enc(Side::A)),
+        grow(base.enc(Side::B)),
+        dec,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strassen::strassen;
+    use mmio_cdag::connectivity::classify;
+
+    #[test]
+    fn dummy_product_stays_correct() {
+        let g = with_dummy_product(&strassen());
+        assert_eq!(g.verify_correctness(), Ok(()));
+        assert_eq!(g.b(), 8);
+    }
+
+    #[test]
+    fn dummy_product_disconnects_decoding() {
+        let p = classify(&with_dummy_product(&strassen()));
+        assert_eq!(p.dec_components, 2, "isolated product vertex");
+        assert!(!p.edge_expansion_applies);
+        // The routing machinery's preconditions still hold.
+        assert!(p.single_use_assumption);
+        assert!(p.lemma1_condition);
+    }
+
+    #[test]
+    fn without_copying_stays_correct() {
+        let g = without_copying(&strassen());
+        assert_eq!(g.verify_correctness(), Ok(()));
+        assert!(!g.has_multiple_copying());
+        // No trivial rows at all.
+        for m in 0..g.b() {
+            assert!(!g.row_is_trivial(Side::A, m));
+            assert!(!g.row_is_trivial(Side::B, m));
+        }
+    }
+
+    #[test]
+    fn duplicated_combination_violates_single_use() {
+        let g = with_duplicated_combination(&strassen());
+        assert_eq!(g.verify_correctness(), Ok(()));
+        assert!(!g.single_use_assumption_holds());
+        assert_eq!(g.b(), 8);
+    }
+
+    #[test]
+    fn dummy_preserves_fastness_flag() {
+        // b = 8 = n0³: no longer fast by the strict definition.
+        let g = with_dummy_product(&strassen());
+        assert!(!g.is_fast());
+    }
+}

@@ -1,0 +1,95 @@
+//! Randomized correctness verification of bilinear algorithms, for shapes
+//! where the exhaustive tensor check is out of reach.
+//!
+//! Evaluates the bilinear form `Σ_μ dec[·][μ]·⟨enc_a[μ], A⟩·⟨enc_b[μ], B⟩`
+//! on random small-integer matrices over exact rationals and compares it
+//! entrywise with the classical product. By polynomial-identity testing, a
+//! wrong coefficient survives a sample with probability at most
+//! `degree/|value range|`, so a handful of samples gives overwhelming
+//! confidence (and the arithmetic is exact — no tolerance games).
+
+use mmio_cdag::BaseGraph;
+use mmio_matrix::classical::multiply_naive;
+use mmio_matrix::{Matrix, Rational};
+use rand::Rng;
+
+/// Randomized verification of a general `⟨m,k,n⟩` coefficient triple.
+pub fn verify_bilinear_randomized<R: Rng>(
+    (m, k, n): (usize, usize, usize),
+    enc_a: &Matrix<Rational>,
+    enc_b: &Matrix<Rational>,
+    dec: &Matrix<Rational>,
+    samples: usize,
+    rng: &mut R,
+) -> bool {
+    let b = enc_a.rows();
+    for _ in 0..samples {
+        let a = Matrix::from_fn(m, k, |_, _| Rational::integer(rng.gen_range(-4..=4)));
+        let bm = Matrix::from_fn(k, n, |_, _| Rational::integer(rng.gen_range(-4..=4)));
+        let want = multiply_naive(&a, &bm);
+        // Products of the encoded scalars.
+        let mut prods = Vec::with_capacity(b);
+        for mu in 0..b {
+            let sa: Rational = (0..m * k).map(|x| enc_a[(mu, x)] * a[(x / k, x % k)]).sum();
+            let sb: Rational = (0..k * n)
+                .map(|z| enc_b[(mu, z)] * bm[(z / n, z % n)])
+                .sum();
+            prods.push(sa * sb);
+        }
+        for i in 0..m {
+            for j in 0..n {
+                let got: Rational = (0..b).map(|mu| dec[(i * n + j, mu)] * prods[mu]).sum();
+                if got != want[(i, j)] {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Randomized verification of a square base graph.
+pub fn verify_base_graph_randomized<R: Rng>(base: &BaseGraph, samples: usize, rng: &mut R) -> bool {
+    use mmio_cdag::base::Side;
+    let n0 = base.n0();
+    verify_bilinear_randomized(
+        (n0, n0, n0),
+        base.enc(Side::A),
+        base.enc(Side::B),
+        base.dec(),
+        samples,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strassen::strassen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn accepts_correct_algorithms() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(verify_base_graph_randomized(&strassen(), 10, &mut rng));
+    }
+
+    #[test]
+    fn rejects_corrupted_algorithms() {
+        use mmio_cdag::base::Side;
+        let base = strassen();
+        // Corrupt one decoder coefficient.
+        let mut dec = base.dec().clone();
+        dec[(0, 0)] += Rational::ONE;
+        let bad = BaseGraph::new(
+            "bad",
+            2,
+            base.enc(Side::A).clone(),
+            base.enc(Side::B).clone(),
+            dec,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!verify_base_graph_randomized(&bad, 10, &mut rng));
+    }
+}

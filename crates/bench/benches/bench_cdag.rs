@@ -1,0 +1,41 @@
+//! Criterion bench: CDAG construction and meta-vertex computation
+//! throughput across recursion depths (the `ablation_graph` data point:
+//! cost of the explicit-CSR representation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmio_algos::laderman::laderman;
+use mmio_algos::strassen::strassen;
+use mmio_cdag::build::build_cdag;
+use mmio_cdag::MetaVertices;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cdag_build");
+    for r in [2u32, 3, 4, 5] {
+        let base = strassen();
+        group.bench_with_input(BenchmarkId::new("strassen", r), &r, |b, &r| {
+            b.iter(|| black_box(build_cdag(&base, r)))
+        });
+    }
+    let lad = laderman();
+    for r in [1u32, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("laderman", r), &r, |b, &r| {
+            b.iter(|| black_box(build_cdag(&lad, r)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_meta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meta_vertices");
+    for r in [3u32, 4, 5] {
+        let g = build_cdag(&strassen(), r);
+        group.bench_with_input(BenchmarkId::new("strassen", r), &g, |b, g| {
+            b.iter(|| black_box(MetaVertices::compute(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_meta);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: the end-to-end lower-bound certificate pipeline
+//! (Lemma 1 selection → counted mask → segment partition → per-segment
+//! boundaries), which dominates the experiment harness runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmio_algos::strassen::strassen;
+use mmio_cdag::build::build_cdag;
+use mmio_core::theorem1::{certify_with, CertifyParams};
+use mmio_pebble::orders::recursive_order;
+use std::hint::black_box;
+
+fn bench_certify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("certify");
+    group.sample_size(10);
+    for r in [3u32, 4] {
+        let g = build_cdag(&strassen(), r);
+        let order = recursive_order(&g);
+        group.bench_with_input(BenchmarkId::new("strassen", r), &r, |b, _| {
+            b.iter(|| black_box(certify_with(&g, 8, &order, CertifyParams::SMALL)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_certify);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench: actual matrix-multiplication runtime — classical loop
+//! orders vs hand-written Strassen vs the generic bilinear executor, plus
+//! the `ablation_cutoff` sweep (where to stop recursing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmio_algos::strassen::strassen as strassen_base;
+use mmio_algos::Executor;
+use mmio_matrix::classical::{multiply_blocked, multiply_ikj, multiply_naive};
+use mmio_matrix::random::random_f64_matrix;
+use mmio_matrix::strassen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_classical(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("classical_runtime");
+    group.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let a = random_f64_matrix(n, n, &mut rng);
+        let b = random_f64_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(multiply_naive(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("ikj", n), &n, |bch, _| {
+            bch.iter(|| black_box(multiply_ikj(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked32", n), &n, |bch, _| {
+            bch.iter(|| black_box(multiply_blocked(&a, &b, 32)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_strassen_crossover(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("strassen_crossover");
+    group.sample_size(10);
+    for n in [128usize, 256, 512] {
+        let a = random_f64_matrix(n, n, &mut rng);
+        let b = random_f64_matrix(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("strassen_c64", n), &n, |bch, _| {
+            bch.iter(|| black_box(strassen::multiply(&a, &b, 64)))
+        });
+        group.bench_with_input(BenchmarkId::new("ikj", n), &n, |bch, _| {
+            bch.iter(|| black_box(multiply_ikj(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cutoff_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 256usize;
+    let a = random_f64_matrix(n, n, &mut rng);
+    let b = random_f64_matrix(n, n, &mut rng);
+    let mut group = c.benchmark_group("ablation_cutoff");
+    group.sample_size(10);
+    for cutoff in [8usize, 16, 32, 64, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("generic_exec", cutoff),
+            &cutoff,
+            |bch, &co| {
+                let exec = Executor::new(strassen_base(), co);
+                bch.iter(|| black_box(exec.multiply(&a, &b)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classical,
+    bench_strassen_crossover,
+    bench_cutoff_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: memory-hierarchy simulator throughput — the
+//! `ablation_replacement` measurement (cost of Belady's future-knowledge
+//! vs LRU's recency bookkeeping) and order sensitivity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmio_algos::strassen::strassen;
+use mmio_cdag::build::build_cdag;
+use mmio_pebble::orders::{rank_order, recursive_order};
+use mmio_pebble::policy::{Belady, Lru};
+use mmio_pebble::AutoScheduler;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let g = build_cdag(&strassen(), 4);
+    let order = recursive_order(&g);
+    let mut group = c.benchmark_group("ablation_replacement");
+    for m in [16usize, 128] {
+        group.bench_with_input(BenchmarkId::new("lru", m), &m, |b, &m| {
+            let sched = AutoScheduler::new(&g, m);
+            b.iter(|| black_box(sched.run(&order, &mut Lru::new(g.n_vertices()))))
+        });
+        group.bench_with_input(BenchmarkId::new("belady", m), &m, |b, &m| {
+            let sched = AutoScheduler::new(&g, m);
+            b.iter(|| black_box(sched.run(&order, &mut Belady)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let g = build_cdag(&strassen(), 4);
+    let mut group = c.benchmark_group("simulate_by_order");
+    let rec = recursive_order(&g);
+    let rank = rank_order(&g);
+    group.bench_function("recursive", |b| {
+        let sched = AutoScheduler::new(&g, 64);
+        b.iter(|| black_box(sched.run(&rec, &mut Belady)))
+    });
+    group.bench_function("rank", |b| {
+        let sched = AutoScheduler::new(&g, 64);
+        b.iter(|| black_box(sched.run(&rank, &mut Belady)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_orders);
+criterion_main!(benches);

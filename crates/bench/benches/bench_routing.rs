@@ -1,0 +1,57 @@
+//! Criterion bench: routing construction and verification throughput —
+//! Lemma 3 chains, Claim 1 decoding routings, and the full Routing Theorem
+//! (E3/E4/E5's engines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmio_algos::strassen::strassen;
+use mmio_cdag::build::build_cdag;
+use mmio_core::chains::ChainRouter;
+use mmio_core::claim1::DecodingRouting;
+use mmio_core::routing::VertexHitCounter;
+use mmio_core::theorem2::InOutRouting;
+use std::hint::black_box;
+
+fn bench_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lemma3_chains");
+    for k in [1u32, 2, 3] {
+        let g = build_cdag(&strassen(), k);
+        group.bench_with_input(BenchmarkId::new("route_all", k), &g, |b, g| {
+            let router = ChainRouter::new(g).unwrap();
+            b.iter(|| {
+                let mut counter = VertexHitCounter::new(g, None);
+                router.route_all(&mut counter);
+                black_box(counter.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_claim1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claim1_decoding");
+    group.sample_size(10);
+    for k in [2u32, 3, 4] {
+        let g = build_cdag(&strassen(), k);
+        group.bench_with_input(BenchmarkId::new("verify", k), &g, |b, g| {
+            let routing = DecodingRouting::new(g).unwrap();
+            b.iter(|| black_box(routing.verify()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_theorem");
+    group.sample_size(10);
+    for k in [1u32, 2] {
+        let g = build_cdag(&strassen(), k);
+        group.bench_with_input(BenchmarkId::new("verify", k), &g, |b, g| {
+            let routing = InOutRouting::new(g).unwrap();
+            b.iter(|| black_box(routing.verify()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chains, bench_claim1, bench_theorem2);
+criterion_main!(benches);

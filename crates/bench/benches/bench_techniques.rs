@@ -1,0 +1,39 @@
+//! Criterion bench: the prior-technique implementations — max-flow
+//! dominators, exact edge expansion, Loomis–Whitney projections — whose
+//! cost matters for the E14 museum sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmio_algos::classical::classical;
+use mmio_algos::strassen::strassen;
+use mmio_cdag::build::build_cdag;
+use mmio_core::dominator::min_dominator_size;
+use mmio_core::expansion::SmallGraph;
+use mmio_core::loomis_whitney::projections;
+use std::hint::black_box;
+
+fn bench_dominator(c: &mut Criterion) {
+    let g = build_cdag(&strassen(), 3);
+    let products: Vec<_> = g.products().collect();
+    c.bench_function("dominator_maxflow_r3", |b| {
+        b.iter(|| black_box(min_dominator_size(&g, &products)))
+    });
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let g = build_cdag(&strassen(), 1);
+    let d1 = SmallGraph::decoding_graph(&g);
+    c.bench_function("expansion_exact_d1", |b| {
+        b.iter(|| black_box(d1.exact_expansion()))
+    });
+}
+
+fn bench_lw(c: &mut Criterion) {
+    let g = build_cdag(&classical(2), 3);
+    let products: Vec<_> = g.products().collect();
+    c.bench_function("loomis_whitney_projections_512", |b| {
+        b.iter(|| black_box(projections(&g, &products)))
+    });
+}
+
+criterion_group!(benches, bench_dominator, bench_expansion, bench_lw);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E1 — Theorem 1, sequential: measured I/O of the communication-optimal
+//! recursive schedule versus the `(n/√M)^{ω₀}·M` lower bound, swept over
+//! `n` and `M`.
+//!
+//! Expected shape: the measured/bound ratio is bounded above and below by
+//! constants across the sweep (the bound is tight, attained by [3]'s
+//! schedule), and for fixed `M` the measured I/O grows like `n^{ω₀}`.
+
+use mmio_algos::strassen::strassen;
+use mmio_bench::{write_record, Row};
+use mmio_cdag::build::build_cdag;
+use mmio_core::theorem1::LowerBound;
+use mmio_pebble::orders::recursive_order;
+use mmio_pebble::policy::Belady;
+use mmio_pebble::AutoScheduler;
+
+fn main() {
+    let base = strassen();
+    let lb = LowerBound::new(&base);
+    let mut rows = Vec::new();
+    println!("E1: sequential I/O vs Theorem 1 bound (Strassen, recursive schedule, Belady)\n");
+    println!(
+        "{:>6} {:>6} | {:>12} {:>12} {:>8}",
+        "n", "M", "measured", "bound", "ratio"
+    );
+    for r in 3..=6u32 {
+        let g = build_cdag(&base, r);
+        let order = recursive_order(&g);
+        let n = g.n();
+        for m in [8u64, 32, 128, 512] {
+            if m * 4 > n * n {
+                continue; // outside the M = o(n²) regime
+            }
+            let io = AutoScheduler::new(&g, m as usize)
+                .run(&order, &mut Belady)
+                .io();
+            let bound = lb.sequential_io(n, m);
+            let ratio = io as f64 / bound;
+            println!("{n:>6} {m:>6} | {io:>12} {bound:>12.0} {ratio:>8.2}");
+            rows.push(
+                Row::new(format!("n={n},M={m}"))
+                    .push("measured", io as f64)
+                    .push("bound", bound)
+                    .push("ratio", ratio),
+            );
+        }
+    }
+    // Growth in n at fixed M: successive ratios ≈ 7 (= 2^ω₀).
+    println!("\nGrowth factors at fixed M=32 when n doubles (expect ≈ 7):");
+    let mut prev: Option<u64> = None;
+    for r in 3..=6u32 {
+        let g = build_cdag(&base, r);
+        let order = recursive_order(&g);
+        let io = AutoScheduler::new(&g, 32).run(&order, &mut Belady).io();
+        if let Some(p) = prev {
+            println!(
+                "  n {} → {}: ×{:.2}",
+                g.n() / 2,
+                g.n(),
+                io as f64 / p as f64
+            );
+        }
+        prev = Some(io);
+    }
+    write_record("e1_theorem1_seq", &rows);
+}

@@ -1,0 +1,42 @@
+//! E3 — Claim 1: the `11·7^k`-routing in Strassen's decoding graph `D_k`,
+//! constructed and verified for k = 1..5.
+//!
+//! Expected shape: measured max vertex hits stay below `11·7^k`, and in
+//! fact track `c·7^k` with `c < 11` (the zag factor rarely binds fully).
+
+use mmio_algos::laderman::laderman;
+use mmio_algos::strassen::{strassen, winograd};
+use mmio_bench::{write_record, Row};
+use mmio_cdag::build::build_cdag;
+use mmio_core::claim1::DecodingRouting;
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("E3: Claim 1 routings in the decoding graph\n");
+    println!(
+        "{:<12} {:>2} | {:>10} | {:>12} {:>12} {:>8}",
+        "base", "k", "paths", "bound", "max hits", "slack"
+    );
+    for (base, max_k) in [(strassen(), 5u32), (winograd(), 4), (laderman(), 3)] {
+        for k in 1..=max_k {
+            let g = build_cdag(&base, k);
+            let routing = DecodingRouting::new(&g).expect("connected decoding graph");
+            let stats = routing.verify();
+            let bound = routing.claim1_bound();
+            assert!(stats.is_m_routing(bound), "Claim 1 must hold");
+            let slack = bound as f64 / stats.max_vertex_hits as f64;
+            println!(
+                "{:<12} {k:>2} | {:>10} | {bound:>12} {:>12} {slack:>8.2}",
+                base.name(),
+                stats.paths,
+                stats.max_vertex_hits
+            );
+            rows.push(
+                Row::new(format!("{},k={k}", base.name()))
+                    .push("bound", bound as f64)
+                    .push("max_hits", stats.max_vertex_hits as f64),
+            );
+        }
+    }
+    write_record("e3_claim1", &rows);
+}

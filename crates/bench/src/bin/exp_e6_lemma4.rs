@@ -1,0 +1,30 @@
+//! E6 — Lemma 4: the chain-concatenation scheme uses every guaranteed
+//! dependence exactly `3·n₀^k` times, verified exhaustively over all
+//! `2·n₀^{4k}` input–output pairs.
+
+use mmio_bench::{write_record, Row};
+use mmio_core::lemma4::verify_usage_bound;
+
+fn main() {
+    let mut rows = Vec::new();
+    println!("E6: Lemma 4 dependence-usage counts\n");
+    println!(
+        "{:>8} | {:>12} | {:>12} {:>10}",
+        "n₀^k", "pairs", "max usage", "3·n₀^k"
+    );
+    for nk in [2u64, 3, 4, 8, 9, 16] {
+        let max = verify_usage_bound(nk);
+        let pairs = 2 * nk.pow(4);
+        println!("{nk:>8} | {pairs:>12} | {max:>12} {:>10}", 3 * nk);
+        assert_eq!(max, 3 * nk, "Lemma 4's count is exact");
+        rows.push(
+            Row::new(format!("nk={nk}"))
+                .push("max_usage", max as f64)
+                .push("bound", (3 * nk) as f64),
+        );
+    }
+    println!("\nEvery guaranteed dependence is used exactly 3·n₀^k times — the");
+    println!("\"odd use of j as a row index\" (paper Figure 6) equidistributes");
+    println!("the middle chains perfectly.");
+    write_record("e6_lemma4", &rows);
+}

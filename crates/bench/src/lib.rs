@@ -1,0 +1,75 @@
+//! # mmio-bench
+//!
+//! The experiment harness: one binary per experiment in `EXPERIMENTS.md`
+//! (`cargo run --release -p mmio-bench --bin exp_<id>`), plus criterion
+//! benches (`cargo bench -p mmio-bench`).
+//!
+//! Every binary prints its table to stdout and appends a machine-readable
+//! record to `results/<id>.json`.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// Where experiment records are written (workspace-relative `results/`).
+pub fn results_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop();
+    dir.pop();
+    dir.push("results");
+    dir
+}
+
+/// Serializes `record` as pretty JSON into `results/<name>.json`.
+pub fn write_record<T: Serialize>(name: &str, record: &T) {
+    let dir = results_dir();
+    if fs::create_dir_all(&dir).is_err() {
+        return; // reporting is best-effort; the stdout table is the output
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(record) {
+        let _ = fs::write(&path, json);
+    }
+}
+
+/// A generic labelled row of floats, the common shape of experiment tables.
+#[derive(Serialize, Clone, Debug)]
+pub struct Row {
+    /// Row label (e.g. the swept parameter).
+    pub label: String,
+    /// Named values.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Builds a row.
+    pub fn new(label: impl Into<String>) -> Row {
+        Row {
+            label: label.into(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Adds one named value.
+    pub fn push(mut self, key: &str, value: f64) -> Row {
+        self.values.push((key.to_string(), value));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_accumulate() {
+        let row = Row::new("M=8").push("io", 12.0).push("bound", 4.0);
+        assert_eq!(row.values.len(), 2);
+        assert_eq!(row.values[1].1, 4.0);
+    }
+
+    #[test]
+    fn results_dir_points_at_workspace() {
+        assert!(results_dir().ends_with("results"));
+    }
+}

@@ -1,0 +1,311 @@
+//! Construction of the recursive CDAG `G_r` from a base graph.
+
+use crate::base::{BaseGraph, Side};
+use crate::graph::{Cdag, Layer, VertexId};
+use crate::index;
+use mmio_matrix::Rational;
+
+/// Builds the CDAG `G_r` of `base` applied recursively `r` times
+/// (multiplying `n₀^r × n₀^r` matrices).
+///
+/// Edge rules (coefficients are the base-graph coefficients):
+///
+/// - encoding rank `t-1 → t`: vertex `(m; x_t, xs)` feeds `(m·b+τ; xs)`
+///   whenever `enc[τ][x_t] ≠ 0`;
+/// - multiplication: encoding-rank-`r` vertices `m` of both sides feed the
+///   product vertex `m` (decoding rank 0) with coefficient 1;
+/// - decoding rank `k-1 → k`: vertex `(m·b+τ; ys)` feeds `(m; υ·a^{k-1}+ys)`
+///   whenever `dec[υ][τ] ≠ 0`.
+///
+/// # Panics
+/// Panics if the graph would exceed `u32` vertex ids.
+pub fn build_cdag(base: &BaseGraph, r: u32) -> Cdag {
+    let a = base.a();
+    let b = base.b();
+
+    // Segment layout: EncA 0..=r, EncB 0..=r, Dec 0..=r.
+    let mut seg_offsets = Vec::with_capacity(3 * (r as usize + 1) + 1);
+    let mut total: u64 = 0;
+    seg_offsets.push(0);
+    for _side in 0..2 {
+        for t in 0..=r {
+            total += index::pow(b, t) * index::pow(a, r - t);
+            seg_offsets.push(total);
+        }
+    }
+    for k in 0..=r {
+        total += index::pow(b, r - k) * index::pow(a, k);
+        seg_offsets.push(total);
+    }
+    assert!(
+        total <= u32::MAX as u64,
+        "CDAG too large for u32 vertex ids ({total} vertices)"
+    );
+    let n = total as usize;
+
+    // Per-vertex predecessor lists; successor CSR is derived afterwards.
+    let mut pred_off = vec![0u32; n + 1];
+    let mut preds: Vec<(VertexId, Rational)> = Vec::new();
+
+    // A throwaway Cdag shell for id computation would be circular, so the
+    // builder carries its own closure over the layout.
+    let seg_index = |layer: Layer, level: u32| -> usize {
+        let l = match layer {
+            Layer::EncA => 0,
+            Layer::EncB => 1,
+            Layer::Dec => 2,
+        };
+        l * (r as usize + 1) + level as usize
+    };
+    let id = |layer: Layer, level: u32, mul: u64, entry: u64| -> VertexId {
+        let suffix_len = match layer {
+            Layer::EncA | Layer::EncB => r - level,
+            Layer::Dec => level,
+        };
+        let local = mul * index::pow(a, suffix_len) + entry;
+        VertexId((seg_offsets[seg_index(layer, level)] + local) as u32)
+    };
+
+    // Walk vertices in dense order, pushing each one's predecessor list.
+    let mut push_vertex = |ps: &mut Vec<(VertexId, Rational)>, v: usize| {
+        pred_off[v + 1] = pred_off[v] + ps.len() as u32;
+        preds.append(ps);
+    };
+
+    let mut scratch: Vec<(VertexId, Rational)> = Vec::new();
+    for (layer, side) in [(Layer::EncA, Side::A), (Layer::EncB, Side::B)] {
+        let enc = base.enc(side);
+        for t in 0..=r {
+            let muls = index::pow(b, t);
+            let suffix = index::pow(a, r - t);
+            for m in 0..muls {
+                for e in 0..suffix {
+                    let v = id(layer, t, m, e);
+                    if t > 0 {
+                        // Parent at rank t-1: prefix m minus its last digit
+                        // τ; parent entry gains x_t as most significant digit.
+                        let tau = (m % b as u64) as usize;
+                        let m_parent = m / b as u64;
+                        for x in 0..a {
+                            let c = enc[(tau, x)];
+                            if !c.is_zero() {
+                                let e_parent = (x as u64) * suffix + e;
+                                scratch.push((id(layer, t - 1, m_parent, e_parent), c));
+                            }
+                        }
+                    }
+                    push_vertex(&mut scratch, v.idx());
+                }
+            }
+        }
+    }
+    let dec = base.dec();
+    for k in 0..=r {
+        let muls = index::pow(b, r - k);
+        let suffix = index::pow(a, k);
+        for m in 0..muls {
+            for e in 0..suffix {
+                let v = id(Layer::Dec, k, m, e);
+                if k == 0 {
+                    // Product vertex: reads the two rank-r combinations m.
+                    scratch.push((id(Layer::EncA, r, m, 0), Rational::ONE));
+                    scratch.push((id(Layer::EncB, r, m, 0), Rational::ONE));
+                } else {
+                    // Entry suffix: most significant digit is υ.
+                    let upsilon = (e / index::pow(a, k - 1)) as usize;
+                    let e_rest = e % index::pow(a, k - 1);
+                    for tau in 0..b {
+                        let c = dec[(upsilon, tau)];
+                        if !c.is_zero() {
+                            let m_parent = m * b as u64 + tau as u64;
+                            scratch.push((id(Layer::Dec, k - 1, m_parent, e_rest), c));
+                        }
+                    }
+                }
+                push_vertex(&mut scratch, v.idx());
+            }
+        }
+    }
+
+    // Split predecessor pairs and derive the successor CSR by counting sort.
+    let mut pred_tgt = Vec::with_capacity(preds.len());
+    let mut pred_coeff = Vec::with_capacity(preds.len());
+    let mut succ_count = vec![0u32; n];
+    for &(p, c) in &preds {
+        pred_tgt.push(p);
+        pred_coeff.push(c);
+        succ_count[p.idx()] += 1;
+    }
+    let mut succ_off = vec![0u32; n + 1];
+    for i in 0..n {
+        succ_off[i + 1] = succ_off[i] + succ_count[i];
+    }
+    let mut succ_tgt = vec![VertexId(0); preds.len()];
+    let mut cursor = succ_off.clone();
+    for v in 0..n {
+        for ei in pred_off[v]..pred_off[v + 1] {
+            let p = pred_tgt[ei as usize];
+            succ_tgt[cursor[p.idx()] as usize] = VertexId(v as u32);
+            cursor[p.idx()] += 1;
+        }
+    }
+
+    Cdag::from_parts(
+        base.clone(),
+        r,
+        seg_offsets,
+        pred_off,
+        pred_tgt,
+        pred_coeff,
+        succ_off,
+        succ_tgt,
+    )
+}
+
+/// Convenience: builds `G_r` and sanity-checks segment sizes against the
+/// closed-form counts. Intended for tests and examples.
+pub fn build_checked(base: &BaseGraph, r: u32) -> Cdag {
+    let g = build_cdag(base, r);
+    let (a, b) = (base.a(), base.b());
+    for t in 0..=r {
+        assert_eq!(
+            g.segment_len(Layer::EncA, t),
+            index::pow(b, t) * index::pow(a, r - t)
+        );
+        assert_eq!(
+            g.segment_len(Layer::Dec, t),
+            index::pow(b, r - t) * index::pow(a, t)
+        );
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_matrix::Matrix;
+
+    fn r_(n: i64) -> Rational {
+        Rational::integer(n)
+    }
+
+    /// Classical 2×2 multiplication as a base graph: b = 8 products
+    /// `a_{ik}·b_{kj}`, outputs `c_{ij} = Σ_k`.
+    fn classical2() -> BaseGraph {
+        let n0 = 2;
+        let a = 4;
+        let b = 8;
+        let mut enc_a = Matrix::zeros(b, a);
+        let mut enc_b = Matrix::zeros(b, a);
+        let mut dec = Matrix::zeros(a, b);
+        let mut m = 0;
+        for i in 0..n0 {
+            for j in 0..n0 {
+                for k in 0..n0 {
+                    enc_a[(m, i * n0 + k)] = r_(1);
+                    enc_b[(m, k * n0 + j)] = r_(1);
+                    dec[(i * n0 + j, m)] = r_(1);
+                    m += 1;
+                }
+            }
+        }
+        BaseGraph::new("classical2", n0, enc_a, enc_b, dec)
+    }
+
+    #[test]
+    fn classical2_is_correct() {
+        assert!(classical2().verify_correctness().is_ok());
+    }
+
+    #[test]
+    fn g1_shape() {
+        let g = build_checked(&classical2(), 1);
+        // EncA: 4 inputs + 8 combos; EncB same; Dec: 8 products + 4 outputs.
+        assert_eq!(g.n_vertices(), 4 + 8 + 4 + 8 + 8 + 4);
+        assert_eq!(g.products().count(), 8);
+        assert_eq!(g.outputs().count(), 4);
+        assert_eq!(g.inputs().count(), 8);
+    }
+
+    #[test]
+    fn product_vertices_read_two_operands() {
+        let g = build_cdag(&classical2(), 2);
+        for p in g.products() {
+            assert_eq!(g.preds(p).len(), 2, "product must read two combinations");
+        }
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        let g = build_cdag(&classical2(), 2);
+        for v in g.vertices() {
+            assert_eq!(g.id(g.vref(v)), v);
+        }
+    }
+
+    #[test]
+    fn dense_order_is_topological() {
+        let g = build_cdag(&classical2(), 2);
+        for v in g.vertices() {
+            for &p in g.preds(v) {
+                assert!(p < v, "edge {p:?}->{v:?} violates topological id order");
+            }
+        }
+    }
+
+    #[test]
+    fn ranks() {
+        let g = build_cdag(&classical2(), 2);
+        for v in g.inputs() {
+            assert_eq!(g.rank(v), 0);
+        }
+        for v in g.products() {
+            assert_eq!(g.rank(v), 3); // r+1 = 3
+        }
+        for v in g.outputs() {
+            assert_eq!(g.rank(v), 5); // 2r+1 = 5
+        }
+    }
+
+    #[test]
+    fn succs_mirror_preds() {
+        let g = build_cdag(&classical2(), 2);
+        for v in g.vertices() {
+            for &p in g.preds(v) {
+                assert!(g.succs(p).contains(&v));
+            }
+            for &s in g.succs(v) {
+                assert!(g.preds(s).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_matches_both_directions() {
+        let g = build_cdag(&classical2(), 3);
+        let pred_total: usize = g.vertices().map(|v| g.preds(v).len()).sum();
+        let succ_total: usize = g.vertices().map(|v| g.succs(v).len()).sum();
+        assert_eq!(pred_total, succ_total);
+        assert_eq!(pred_total, g.n_edges());
+    }
+
+    #[test]
+    fn input_output_lookup() {
+        let g = build_cdag(&classical2(), 2);
+        // 4x4 matrices: every entry addressable, ids distinct.
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..4 {
+            for col in 0..4 {
+                assert!(seen.insert(g.input_a(row, col)));
+            }
+        }
+        for row in 0..4 {
+            for col in 0..4 {
+                assert!(seen.insert(g.input_b(row, col)));
+                assert!(g.is_output(g.output(row, col)));
+            }
+        }
+        assert!(g.is_input(g.input_a(0, 0)));
+        assert!(!g.is_input(g.output(0, 0)));
+    }
+}

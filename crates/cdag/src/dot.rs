@@ -1,0 +1,143 @@
+//! Graphviz DOT export of CDAGs, used to regenerate the paper's structural
+//! figures (Figure 1: Strassen's base graph; Figure 2: meta-vertices; and
+//! the per-figure examples in the experiment harness).
+
+use crate::graph::{Cdag, Layer, VertexId};
+use std::fmt::Write as _;
+
+/// Options controlling DOT emission.
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Cluster vertices of equal rank on the same horizontal level.
+    pub rank_clusters: bool,
+    /// Highlight these vertices (drawn filled).
+    pub highlight: Vec<VertexId>,
+    /// Show edge coefficients as labels.
+    pub coefficient_labels: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            rank_clusters: true,
+            highlight: Vec::new(),
+            coefficient_labels: false,
+        }
+    }
+}
+
+/// Short human-readable label of a vertex: layer, level, and coordinates.
+pub fn label(g: &Cdag, v: VertexId) -> String {
+    let vr = g.vref(v);
+    let layer = match vr.layer {
+        Layer::EncA => "A",
+        Layer::EncB => "B",
+        Layer::Dec => "D",
+    };
+    format!("{layer}{}:{}/{}", vr.level, vr.mul, vr.entry)
+}
+
+/// Emits the whole CDAG as a DOT digraph (bottom-to-top as in the paper's
+/// figures: inputs at the bottom, outputs on top).
+pub fn to_dot(g: &Cdag, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    writeln!(out, "digraph {} {{", sanitize(g.base().name())).unwrap();
+    writeln!(out, "  rankdir=BT;").unwrap();
+    writeln!(out, "  node [shape=circle, fontsize=9];").unwrap();
+    let highlighted: std::collections::HashSet<VertexId> = opts.highlight.iter().copied().collect();
+    for v in g.vertices() {
+        let style = if highlighted.contains(&v) {
+            ", style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        writeln!(out, "  v{} [label=\"{}\"{}];", v.0, label(g, v), style).unwrap();
+    }
+    if opts.rank_clusters {
+        let max_rank = 2 * g.r() + 1;
+        for rank in 0..=max_rank {
+            let ids: Vec<String> = g
+                .vertices()
+                .filter(|&v| g.rank(v) == rank)
+                .map(|v| format!("v{}", v.0))
+                .collect();
+            if !ids.is_empty() {
+                writeln!(out, "  {{ rank=same; {} }}", ids.join("; ")).unwrap();
+            }
+        }
+    }
+    for v in g.vertices() {
+        for (ei, &p) in g.preds(v).iter().enumerate() {
+            if opts.coefficient_labels {
+                let c = g.pred_coeffs(v)[ei];
+                writeln!(out, "  v{} -> v{} [label=\"{}\"];", p.0, v.0, c).unwrap();
+            } else {
+                writeln!(out, "  v{} -> v{};", p.0, v.0).unwrap();
+            }
+        }
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    if cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::BaseGraph;
+    use crate::build::build_cdag;
+    use mmio_matrix::{Matrix, Rational};
+
+    fn tiny() -> Cdag {
+        let one = Matrix::from_vec(1, 1, vec![Rational::ONE]);
+        build_cdag(
+            &BaseGraph::new("tiny 1x1", 1, one.clone(), one.clone(), one),
+            1,
+        )
+    }
+
+    #[test]
+    fn dot_contains_all_vertices_and_edges() {
+        let g = tiny();
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph tiny_1x1 {"));
+        for v in g.vertices() {
+            assert!(dot.contains(&format!("v{} [", v.0)));
+        }
+        let edge_lines = dot.lines().filter(|l| l.contains(" -> ")).count();
+        assert_eq!(edge_lines, g.n_edges());
+    }
+
+    #[test]
+    fn highlight_and_coefficients() {
+        let g = tiny();
+        let v = g.outputs().next().unwrap();
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                highlight: vec![v],
+                coefficient_labels: true,
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("label=\"1\""));
+    }
+
+    #[test]
+    fn sanitize_leading_digit() {
+        assert_eq!(sanitize("2x2"), "g_2x2");
+        assert_eq!(sanitize("strassen⊗strassen"), "strassen_strassen");
+    }
+}

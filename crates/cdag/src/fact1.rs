@@ -1,0 +1,300 @@
+//! **Fact 1** of the paper: for `0 ≤ k ≤ r`, the induced subgraph `G_{r,k}`
+//! of `G_r` on the middle `2(k+1)` levels (encoding ranks `r-k..=r` of both
+//! sides and decoding ranks `0..=k`) consists of `b^{r-k}` vertex-disjoint
+//! copies of `G_k`.
+//!
+//! The copy `G_k^i` is indexed by the multiplication prefix
+//! `i ∈ [b^{r-k}]`; its vertices are exactly those whose `mul` coordinate
+//! has `i` as its leading `r-k` digits. This module provides the isomorphism
+//! between each copy and a standalone `G_k` built from the same base graph,
+//! which is how routings constructed once on `G_k` are transported into
+//! every subcomputation of `G_r`.
+
+use crate::graph::{Cdag, Layer, VertexId, VertexRef};
+use crate::index;
+
+/// A view of the `i`-th subcomputation `G_k^i` inside a larger `G_r`.
+#[derive(Clone, Copy)]
+pub struct Subcomputation<'g> {
+    g: &'g Cdag,
+    /// Subcomputation depth `k`.
+    pub k: u32,
+    /// Prefix index `i ∈ [b^{r-k}]`.
+    pub prefix: u64,
+}
+
+impl<'g> Subcomputation<'g> {
+    /// Number of subcomputations of depth `k` in `g`: `b^{r-k}`.
+    ///
+    /// # Panics
+    /// Panics if `k > r`.
+    pub fn count(g: &Cdag, k: u32) -> u64 {
+        assert!(k <= g.r(), "k must be at most r");
+        index::pow(g.base().b(), g.r() - k)
+    }
+
+    /// The `i`-th subcomputation of depth `k`.
+    ///
+    /// # Panics
+    /// Panics if `k > r` or `prefix` is out of range.
+    pub fn new(g: &'g Cdag, k: u32, prefix: u64) -> Subcomputation<'g> {
+        assert!(prefix < Self::count(g, k), "prefix out of range");
+        Subcomputation { g, k, prefix }
+    }
+
+    /// Iterates over all subcomputations of depth `k`.
+    pub fn all(g: &'g Cdag, k: u32) -> impl Iterator<Item = Subcomputation<'g>> {
+        (0..Self::count(g, k)).map(move |prefix| Subcomputation { g, k, prefix })
+    }
+
+    /// Maps a vertex reference of the *standalone* `G_k` (a [`Cdag`] built
+    /// with recursion depth `k` from the same base graph) into the global
+    /// `G_r` vertex it corresponds to under the Fact-1 isomorphism.
+    pub fn local_to_global(&self, local: VertexRef) -> VertexId {
+        let g = self.g;
+        let (r, k) = (g.r(), self.k);
+        let b = g.base().b();
+        let global = match local.layer {
+            Layer::EncA | Layer::EncB => {
+                // Local encoding rank t' ↦ global encoding rank r-k+t'.
+                debug_assert!(local.level <= k);
+                VertexRef {
+                    layer: local.layer,
+                    level: r - k + local.level,
+                    mul: index::concat(self.prefix, local.mul, b, local.level as usize),
+                    entry: local.entry,
+                }
+            }
+            Layer::Dec => {
+                // Local decoding rank k' ↦ global decoding rank k'.
+                debug_assert!(local.level <= k);
+                let mul_len = (k - local.level) as usize;
+                VertexRef {
+                    layer: Layer::Dec,
+                    level: local.level,
+                    mul: index::concat(self.prefix, local.mul, b, mul_len),
+                    entry: local.entry,
+                }
+            }
+        };
+        g.id(global)
+    }
+
+    /// Inverse of [`Subcomputation::local_to_global`] for vertices belonging
+    /// to this subcomputation; `None` for vertices outside it (wrong prefix
+    /// or outside the middle `2(k+1)` levels).
+    pub fn global_to_local(&self, v: VertexId) -> Option<VertexRef> {
+        let g = self.g;
+        let (r, k) = (g.r(), self.k);
+        let b = g.base().b();
+        let vr = g.vref(v);
+        match vr.layer {
+            Layer::EncA | Layer::EncB => {
+                if vr.level < r - k {
+                    return None;
+                }
+                let t_local = vr.level - (r - k);
+                let (pre, rest) =
+                    index::split_prefix(vr.mul, b, vr.level as usize, (r - k) as usize);
+                (pre == self.prefix).then_some(VertexRef {
+                    layer: vr.layer,
+                    level: t_local,
+                    mul: rest,
+                    entry: vr.entry,
+                })
+            }
+            Layer::Dec => {
+                if vr.level > k {
+                    return None;
+                }
+                let mul_len = (r - vr.level) as usize;
+                let (pre, rest) = index::split_prefix(vr.mul, b, mul_len, (r - k) as usize);
+                (pre == self.prefix).then_some(VertexRef {
+                    layer: Layer::Dec,
+                    level: vr.level,
+                    mul: rest,
+                    entry: vr.entry,
+                })
+            }
+        }
+    }
+
+    /// All global vertices of this subcomputation, in the standalone-`G_k`'s
+    /// dense order (so the iso is order-preserving per segment).
+    pub fn vertices(&self, local_gk: &Cdag) -> Vec<VertexId> {
+        debug_assert_eq!(local_gk.r(), self.k, "standalone graph must be G_k");
+        local_gk
+            .vertices()
+            .map(|lv| self.local_to_global(local_gk.vref(lv)))
+            .collect()
+    }
+
+    /// The inputs of this subcomputation: encoding rank `r-k` vertices of
+    /// both sides with this prefix (the `2a^k` inputs of the copy of `G_k`).
+    pub fn input_vertices(&self) -> Vec<VertexId> {
+        let g = self.g;
+        let (r, k) = (g.r(), self.k);
+        let ak = index::pow(g.base().a(), k);
+        let mut out = Vec::with_capacity(2 * ak as usize);
+        for layer in [Layer::EncA, Layer::EncB] {
+            for e in 0..ak {
+                out.push(g.id(VertexRef {
+                    layer,
+                    level: r - k,
+                    mul: self.prefix,
+                    entry: e,
+                }));
+            }
+        }
+        out
+    }
+
+    /// The outputs of this subcomputation: decoding rank `k` vertices with
+    /// this prefix (the `a^k` outputs of the copy of `G_k`).
+    pub fn output_vertices(&self) -> Vec<VertexId> {
+        let g = self.g;
+        let ak = index::pow(g.base().a(), self.k);
+        (0..ak)
+            .map(|e| {
+                g.id(VertexRef {
+                    layer: Layer::Dec,
+                    level: self.k,
+                    mul: self.prefix,
+                    entry: e,
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::BaseGraph;
+    use crate::build::build_cdag;
+    use mmio_matrix::{Matrix, Rational};
+    use std::collections::HashSet;
+
+    fn r_(n: i64) -> Rational {
+        Rational::integer(n)
+    }
+
+    fn classical2() -> BaseGraph {
+        let n0 = 2;
+        let mut enc_a = Matrix::zeros(8, 4);
+        let mut enc_b = Matrix::zeros(8, 4);
+        let mut dec = Matrix::zeros(4, 8);
+        let mut m = 0;
+        for i in 0..n0 {
+            for j in 0..n0 {
+                for k in 0..n0 {
+                    enc_a[(m, i * n0 + k)] = r_(1);
+                    enc_b[(m, k * n0 + j)] = r_(1);
+                    dec[(i * n0 + j, m)] = r_(1);
+                    m += 1;
+                }
+            }
+        }
+        BaseGraph::new("classical2", n0, enc_a, enc_b, dec)
+    }
+
+    #[test]
+    fn subcomputation_count() {
+        let g = build_cdag(&classical2(), 3);
+        assert_eq!(Subcomputation::count(&g, 3), 1);
+        assert_eq!(Subcomputation::count(&g, 2), 8);
+        assert_eq!(Subcomputation::count(&g, 0), 512);
+    }
+
+    #[test]
+    fn copies_are_vertex_disjoint_and_cover_middle() {
+        let base = classical2();
+        let g = build_cdag(&base, 3);
+        let gk = build_cdag(&base, 1);
+        let mut seen: HashSet<VertexId> = HashSet::new();
+        for sub in Subcomputation::all(&g, 1) {
+            for v in sub.vertices(&gk) {
+                assert!(seen.insert(v), "copies must be vertex-disjoint");
+            }
+        }
+        // Fact 1: total = b^{r-k} · |V(G_k)|.
+        assert_eq!(seen.len(), 64 * gk.n_vertices());
+        // And they are exactly the middle-2(k+1)-level vertices.
+        for v in g.vertices() {
+            let vr = g.vref(v);
+            let in_middle = match vr.layer {
+                Layer::EncA | Layer::EncB => vr.level >= 2, // r-k = 2
+                Layer::Dec => vr.level <= 1,
+            };
+            assert_eq!(seen.contains(&v), in_middle);
+        }
+    }
+
+    #[test]
+    fn iso_roundtrip() {
+        let base = classical2();
+        let g = build_cdag(&base, 3);
+        let gk = build_cdag(&base, 2);
+        for sub in Subcomputation::all(&g, 2) {
+            for lv in gk.vertices() {
+                let global = sub.local_to_global(gk.vref(lv));
+                let back = sub.global_to_local(global).unwrap();
+                assert_eq!(gk.id(back), lv);
+            }
+        }
+    }
+
+    #[test]
+    fn iso_preserves_edges() {
+        let base = classical2();
+        let g = build_cdag(&base, 2);
+        let gk = build_cdag(&base, 1);
+        for sub in Subcomputation::all(&g, 1) {
+            for lv in gk.vertices() {
+                let gv = sub.local_to_global(gk.vref(lv));
+                let local_preds: HashSet<VertexId> = gk
+                    .preds(lv)
+                    .iter()
+                    .map(|&p| sub.local_to_global(gk.vref(p)))
+                    .collect();
+                // Global preds of gv that live inside the subcomputation
+                // must be exactly the images of local preds.
+                let global_preds: HashSet<VertexId> = g
+                    .preds(gv)
+                    .iter()
+                    .copied()
+                    .filter(|&p| sub.global_to_local(p).is_some())
+                    .collect();
+                assert_eq!(local_preds, global_preds);
+            }
+        }
+    }
+
+    #[test]
+    fn inputs_and_outputs_shape() {
+        let g = build_cdag(&classical2(), 3);
+        let sub = Subcomputation::new(&g, 2, 3);
+        assert_eq!(sub.input_vertices().len(), 2 * 16); // 2a^k
+        assert_eq!(sub.output_vertices().len(), 16); // a^k
+                                                     // Inputs are on encoding rank r-k, outputs on decoding rank k.
+        for &v in &sub.input_vertices() {
+            assert_eq!(g.rank(v), 1);
+        }
+        for &v in &sub.output_vertices() {
+            assert_eq!(g.rank(v), g.r() + 1 + 2);
+        }
+    }
+
+    #[test]
+    fn outside_vertices_rejected() {
+        let g = build_cdag(&classical2(), 2);
+        let sub = Subcomputation::new(&g, 1, 0);
+        // An input of G_r (encoding rank 0 < r-k = 1) is outside.
+        let input = g.inputs().next().unwrap();
+        assert!(sub.global_to_local(input).is_none());
+        // A vertex with a different prefix is outside.
+        let other = Subcomputation::new(&g, 1, 1);
+        let v = other.input_vertices()[0];
+        assert!(sub.global_to_local(v).is_none());
+    }
+}

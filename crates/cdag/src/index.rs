@@ -1,0 +1,111 @@
+//! Mixed-radix index arithmetic for the recursive coordinates of `G_r`.
+//!
+//! Every vertex of `G_r` is addressed by a *multiplication prefix*
+//! `(t₁,…,t_ℓ) ∈ [b]^ℓ` (which subproblem chain it belongs to, coarsest
+//! level first) and an *entry suffix* `(x_{ℓ+1},…,x_r) ∈ [a]^{r-ℓ}` (which
+//! block entry it is, again coarsest first). Both are packed into `u64`s
+//! most-significant-digit-first, so that all vertices sharing a prefix form
+//! a contiguous range — which is exactly what Fact 1 extraction needs.
+
+/// Packs digits (most significant first) in base `radix`.
+pub fn pack(digits: &[usize], radix: usize) -> u64 {
+    digits
+        .iter()
+        .fold(0u64, |acc, &d| acc * radix as u64 + d as u64)
+}
+
+/// Unpacks `value` into `len` digits (most significant first) in base `radix`.
+pub fn unpack(value: u64, radix: usize, len: usize) -> Vec<usize> {
+    let mut digits = vec![0usize; len];
+    let mut v = value;
+    for d in digits.iter_mut().rev() {
+        *d = (v % radix as u64) as usize;
+        v /= radix as u64;
+    }
+    debug_assert_eq!(v, 0, "value does not fit in {len} base-{radix} digits");
+    digits
+}
+
+/// `radix^exp` as `u64`, panicking on overflow (graph sizes must fit).
+pub fn pow(radix: usize, exp: u32) -> u64 {
+    (radix as u64)
+        .checked_pow(exp)
+        .expect("index space overflow: graph too large")
+}
+
+/// Appends one digit at the least-significant (deepest recursion) end.
+pub fn push_digit(packed: u64, digit: usize, radix: usize) -> u64 {
+    packed * radix as u64 + digit as u64
+}
+
+/// Splits off the most-significant digit of a `len`-digit value.
+pub fn split_msd(packed: u64, radix: usize, len: usize) -> (usize, u64) {
+    debug_assert!(len >= 1);
+    let lower = pow(radix, (len - 1) as u32);
+    ((packed / lower) as usize, packed % lower)
+}
+
+/// Splits a `len`-digit value into its `plen`-digit prefix and the rest.
+pub fn split_prefix(packed: u64, radix: usize, len: usize, plen: usize) -> (u64, u64) {
+    debug_assert!(plen <= len);
+    let lower = pow(radix, (len - plen) as u32);
+    (packed / lower, packed % lower)
+}
+
+/// Concatenates `prefix` (any length) with a `slen`-digit suffix.
+pub fn concat(prefix: u64, suffix: u64, radix: usize, slen: usize) -> u64 {
+    prefix * pow(radix, slen as u32) + suffix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for radix in [2usize, 4, 7] {
+            for v in 0..(radix as u64).pow(3) {
+                let d = unpack(v, radix, 3);
+                assert_eq!(pack(&d, radix), v);
+            }
+        }
+    }
+
+    #[test]
+    fn msd_first() {
+        // digits (1, 2, 3) base 7 = 1·49 + 2·7 + 3.
+        assert_eq!(pack(&[1, 2, 3], 7), 66);
+        assert_eq!(unpack(66, 7, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn split_and_concat() {
+        let v = pack(&[3, 1, 4, 1], 7);
+        let (msd, rest) = split_msd(v, 7, 4);
+        assert_eq!(msd, 3);
+        assert_eq!(unpack(rest, 7, 3), vec![1, 4, 1]);
+
+        let (pre, suf) = split_prefix(v, 7, 4, 2);
+        assert_eq!(unpack(pre, 7, 2), vec![3, 1]);
+        assert_eq!(unpack(suf, 7, 2), vec![4, 1]);
+        assert_eq!(concat(pre, suf, 7, 2), v);
+    }
+
+    #[test]
+    fn push_digit_appends_lsd() {
+        let v = pack(&[2, 5], 7);
+        assert_eq!(push_digit(v, 6, 7), pack(&[2, 5, 6], 7));
+    }
+
+    #[test]
+    fn pow_works() {
+        assert_eq!(pow(7, 0), 1);
+        assert_eq!(pow(4, 5), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "index space overflow")]
+    fn pow_overflow_panics() {
+        let _ = pow(7, 64);
+    }
+}

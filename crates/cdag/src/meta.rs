@@ -1,0 +1,275 @@
+//! Meta-vertices: maximal groups of CDAG vertices holding the same value.
+//!
+//! A vertex whose single predecessor feeds it with coefficient 1 through a
+//! *trivial* base-graph row is a **copy** — its value equals its parent's.
+//! Following the paper (Section 3, Figure 2), all vertices holding one value
+//! are grouped into a *meta-vertex*: a chain under single copying, an
+//! upward-branching subtree rooted at the original value (an input, for
+//! base graphs satisfying the single-use assumption) under multiple copying.
+
+use crate::base::Side;
+use crate::graph::{Cdag, Layer, VertexId};
+use std::collections::HashMap;
+
+/// Identifier of a meta-vertex: the dense id of its *root* — the unique
+/// member all other members are copies of (the member of smallest rank).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MetaId(pub u32);
+
+/// The meta-vertex structure of a CDAG.
+pub struct MetaVertices {
+    /// For each vertex, the root of its meta-vertex.
+    root: Vec<u32>,
+    /// Members of each nontrivial meta-vertex (singletons omitted).
+    members: HashMap<u32, Vec<VertexId>>,
+}
+
+impl MetaVertices {
+    /// Computes the meta-vertex grouping of `g`.
+    ///
+    /// A vertex is a copy when its level's base-graph row (encoding row `τ`
+    /// at encoding ranks, decoding row `υ` at decoding ranks) is trivial:
+    /// one nonzero coefficient equal to 1. Copies are united with their
+    /// single parent; roots are the non-copy vertices.
+    pub fn compute(g: &Cdag) -> MetaVertices {
+        let base = g.base();
+        let b = base.b();
+        let a = base.a();
+        // Precompute triviality per base row.
+        let triv_a: Vec<bool> = (0..b).map(|m| base.row_is_trivial(Side::A, m)).collect();
+        let triv_b: Vec<bool> = (0..b).map(|m| base.row_is_trivial(Side::B, m)).collect();
+        let triv_d: Vec<bool> = (0..a).map(|y| base.dec_row_is_trivial(y)).collect();
+
+        let n = g.n_vertices();
+        let mut root: Vec<u32> = (0..n as u32).collect();
+        // Dense order is topological, so a copy's parent already has its
+        // final root when we visit the copy: one pass suffices.
+        for v in g.vertices() {
+            let vr = g.vref(v);
+            let is_copy = match vr.layer {
+                Layer::EncA | Layer::EncB if vr.level > 0 => {
+                    let tau = (vr.mul % b as u64) as usize;
+                    match vr.layer {
+                        Layer::EncA => triv_a[tau],
+                        _ => triv_b[tau],
+                    }
+                }
+                Layer::Dec if vr.level > 0 => {
+                    let upsilon = (vr.entry / crate::index::pow(a, vr.level - 1)) as usize;
+                    triv_d[upsilon]
+                }
+                _ => false,
+            };
+            if is_copy {
+                debug_assert_eq!(g.preds(v).len(), 1);
+                root[v.idx()] = root[g.preds(v)[0].idx()];
+            }
+        }
+        let mut members: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        for v in g.vertices() {
+            let rt = root[v.idx()];
+            if rt != v.0 {
+                members
+                    .entry(rt)
+                    .or_insert_with(|| vec![VertexId(rt)])
+                    .push(v);
+            }
+        }
+        MetaVertices { root, members }
+    }
+
+    /// The meta-vertex containing `v`.
+    pub fn meta_of(&self, v: VertexId) -> MetaId {
+        MetaId(self.root[v.idx()])
+    }
+
+    /// The root vertex of a meta-vertex (the original, non-copy value).
+    pub fn root_vertex(&self, m: MetaId) -> VertexId {
+        VertexId(m.0)
+    }
+
+    /// All members of the meta-vertex containing `v` (including `v`).
+    /// Singleton meta-vertices are returned without allocation lookups.
+    pub fn members_of(&self, v: VertexId) -> Vec<VertexId> {
+        let rt = self.root[v.idx()];
+        match self.members.get(&rt) {
+            Some(ms) => ms.clone(),
+            None => vec![VertexId(rt)],
+        }
+    }
+
+    /// Whether `v` is *duplicated*: its meta-vertex has more than one member.
+    pub fn is_duplicated(&self, v: VertexId) -> bool {
+        self.members.contains_key(&self.root[v.idx()])
+    }
+
+    /// Size of the meta-vertex containing `v`.
+    pub fn size_of(&self, v: VertexId) -> usize {
+        self.members
+            .get(&self.root[v.idx()])
+            .map_or(1, |ms| ms.len())
+    }
+
+    /// Number of distinct meta-vertices in the graph.
+    pub fn count(&self, g: &Cdag) -> usize {
+        g.vertices().filter(|v| self.root[v.idx()] == v.0).count()
+    }
+
+    /// Whether any meta-vertex branches (multiple copying): some member has
+    /// two or more copy-children, i.e. the meta-vertex is a tree, not a chain.
+    pub fn has_multiple_copying(&self, g: &Cdag) -> bool {
+        for ms in self.members.values() {
+            for &v in ms {
+                let copy_children = g
+                    .succs(v)
+                    .iter()
+                    .filter(|&&s| self.root[s.idx()] == self.root[v.idx()])
+                    .count();
+                if copy_children >= 2 {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Meta-vertices adjacent to the meta-closure of `set` that are not in it
+    /// — the paper's `δ'(S')` (Definition 1, meta form). `set` is given as
+    /// vertices; its meta-closure is taken automatically.
+    pub fn meta_boundary(&self, g: &Cdag, set: &[VertexId]) -> Vec<MetaId> {
+        let mut in_set = vec![false; g.n_vertices()];
+        // Meta-closure: mark every member of every touched meta-vertex.
+        for &v in set {
+            for m in self.members_of(v) {
+                in_set[m.idx()] = true;
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for v in g.vertices() {
+            if !in_set[v.idx()] {
+                continue;
+            }
+            for &w in g.preds(v).iter().chain(g.succs(v)) {
+                if !in_set[w.idx()] {
+                    seen.insert(self.meta_of(w));
+                }
+            }
+        }
+        let mut out: Vec<MetaId> = seen.into_iter().collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::base::BaseGraph;
+    use crate::build::build_cdag;
+    use mmio_matrix::{Matrix, Rational};
+
+    fn r_(n: i64) -> Rational {
+        Rational::integer(n)
+    }
+
+    fn classical2() -> BaseGraph {
+        let n0 = 2;
+        let mut enc_a = Matrix::zeros(8, 4);
+        let mut enc_b = Matrix::zeros(8, 4);
+        let mut dec = Matrix::zeros(4, 8);
+        let mut m = 0;
+        for i in 0..n0 {
+            for j in 0..n0 {
+                for k in 0..n0 {
+                    enc_a[(m, i * n0 + k)] = r_(1);
+                    enc_b[(m, k * n0 + j)] = r_(1);
+                    dec[(i * n0 + j, m)] = r_(1);
+                    m += 1;
+                }
+            }
+        }
+        BaseGraph::new("classical2", n0, enc_a, enc_b, dec)
+    }
+
+    /// A 1×1 base graph with no copying at all: every row is nontrivial
+    /// (scaled), kept correct by compensating in the decoder:
+    /// c = (2a)(3b)·(1/6).
+    fn no_copy() -> BaseGraph {
+        BaseGraph::new(
+            "scaled",
+            1,
+            Matrix::from_vec(1, 1, vec![r_(2)]),
+            Matrix::from_vec(1, 1, vec![r_(3)]),
+            Matrix::from_vec(1, 1, vec![Rational::new(1, 6)]),
+        )
+    }
+
+    #[test]
+    fn classical_has_full_copying() {
+        // Every classical encoding row is trivial: rank-1 vertices are all
+        // copies of inputs, and every input is copied to 2 products.
+        let g = build_cdag(&classical2(), 1);
+        let meta = MetaVertices::compute(&g);
+        for v in g.inputs() {
+            assert!(meta.is_duplicated(v));
+            assert_eq!(meta.size_of(v), 3, "input + 2 copies");
+            assert_eq!(meta.root_vertex(meta.meta_of(v)), v);
+        }
+        assert!(meta.has_multiple_copying(&g));
+    }
+
+    #[test]
+    fn no_copy_graph_has_singletons() {
+        let g = build_cdag(&no_copy(), 2);
+        let meta = MetaVertices::compute(&g);
+        for v in g.vertices() {
+            assert_eq!(meta.size_of(v), 1);
+            assert_eq!(meta.meta_of(v), MetaId(v.0));
+        }
+        assert!(!meta.has_multiple_copying(&g));
+        assert_eq!(meta.count(&g), g.n_vertices());
+    }
+
+    #[test]
+    fn meta_count_consistency() {
+        let g = build_cdag(&classical2(), 2);
+        let meta = MetaVertices::compute(&g);
+        let total: usize = g
+            .vertices()
+            .filter(|&v| meta.root_vertex(meta.meta_of(v)) == v)
+            .map(|v| meta.size_of(v))
+            .sum();
+        assert_eq!(total, g.n_vertices());
+    }
+
+    #[test]
+    fn copies_transitive_through_levels() {
+        // classical2 at r=2: encoding rank-2 vertices whose two base rows are
+        // both trivial are copies-of-copies; their root must be an input.
+        let g = build_cdag(&classical2(), 2);
+        let meta = MetaVertices::compute(&g);
+        for v in g.segment(Layer::EncA, 2) {
+            let root = meta.root_vertex(meta.meta_of(v));
+            assert!(g.is_input(root), "root of a copy chain must be the input");
+        }
+    }
+
+    #[test]
+    fn meta_boundary_of_everything_is_empty() {
+        let g = build_cdag(&classical2(), 1);
+        let meta = MetaVertices::compute(&g);
+        let all: Vec<_> = g.vertices().collect();
+        assert!(meta.meta_boundary(&g, &all).is_empty());
+    }
+
+    #[test]
+    fn meta_boundary_of_single_product() {
+        let g = build_cdag(&classical2(), 1);
+        let meta = MetaVertices::compute(&g);
+        let p = g.products().next().unwrap();
+        let boundary = meta.meta_boundary(&g, &[p]);
+        // Product 0 = a00·b00 → c00: adjacent metas are input-a00's meta,
+        // input-b00's meta, and the output c00.
+        assert_eq!(boundary.len(), 3);
+    }
+}

@@ -1,0 +1,199 @@
+//! `mmio` — the command-line front door to the workspace.
+//!
+//! ```text
+//! mmio list                         all built-in algorithms
+//! mmio info <algo>                  parameters + structural classification
+//! mmio verify <algo|file.json>      exact tensor check
+//! mmio export <algo>                base graph as JSON (stdout)
+//! mmio simulate <algo> <r> <M>      I/O of the recursive schedule
+//! mmio certify <algo> <r> <M>       machine-checked lower-bound certificate
+//! mmio routing <algo> <k>           construct + verify the 6a^k-routing
+//! mmio report <algo> <r> <M>        full JSON analysis report
+//! ```
+//!
+//! `<algo>` is a built-in name (`mmio list`) or a path to a JSON base-graph
+//! file (see `mmio export`).
+
+use mmio_algos::registry::all_base_graphs;
+use mmio_cdag::build::build_cdag;
+use mmio_cdag::connectivity::classify;
+use mmio_cdag::serialize;
+use mmio_cdag::BaseGraph;
+use mmio_core::theorem1::{certify_with, CertifyParams, LowerBound};
+use mmio_core::theorem2::InOutRouting;
+use mmio_pebble::orders::recursive_order;
+use mmio_pebble::policy::Belady;
+use mmio_pebble::AutoScheduler;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mmio <command> [args]\n\
+         commands:\n  \
+         list\n  \
+         info     <algo>\n  \
+         verify   <algo|file.json>\n  \
+         export   <algo>\n  \
+         simulate <algo> <r> <M>\n  \
+         certify  <algo> <r> <M>\n  \
+         routing  <algo> <k>\n  \
+         report   <algo> <r> <M>"
+    );
+    ExitCode::FAILURE
+}
+
+fn resolve(name: &str) -> Result<BaseGraph, String> {
+    if let Some(base) = all_base_graphs().into_iter().find(|g| g.name() == name) {
+        return Ok(base);
+    }
+    if name.ends_with(".json") {
+        let json = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
+        return serialize::from_json(&json).map_err(|e| e.to_string());
+    }
+    Err(format!(
+        "unknown algorithm '{name}' (try `mmio list` or pass a .json file)"
+    ))
+}
+
+fn parse<T: std::str::FromStr>(arg: Option<&String>, what: &str) -> Result<T, String> {
+    arg.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|_| format!("invalid {what}"))
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err("no command".into());
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!(
+                "{:<22} {:>3} {:>3} {:>4} {:>8} {:>6}",
+                "name", "n0", "a", "b", "ω₀", "fast"
+            );
+            for g in all_base_graphs() {
+                println!(
+                    "{:<22} {:>3} {:>3} {:>4} {:>8.4} {:>6}",
+                    g.name(),
+                    g.n0(),
+                    g.a(),
+                    g.b(),
+                    g.omega0(),
+                    g.is_fast()
+                );
+            }
+        }
+        "info" => {
+            let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
+            let props = classify(&base);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&props).expect("serializable")
+            );
+        }
+        "verify" => {
+            let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
+            match base.verify_correctness() {
+                Ok(()) => println!(
+                    "{}: correct ⟨{},{},{};{}⟩ algorithm (ω₀ = {:.4})",
+                    base.name(),
+                    base.n0(),
+                    base.n0(),
+                    base.n0(),
+                    base.b(),
+                    base.omega0()
+                ),
+                Err(errs) => {
+                    return Err(format!(
+                        "{}: {} tensor violations (first: {})",
+                        base.name(),
+                        errs.len(),
+                        errs[0]
+                    ))
+                }
+            }
+        }
+        "export" => {
+            let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
+            println!("{}", serialize::to_json(&base));
+        }
+        "simulate" => {
+            let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
+            let r: u32 = parse(args.get(2), "r")?;
+            let m: usize = parse(args.get(3), "M")?;
+            let g = build_cdag(&base, r);
+            let order = recursive_order(&g);
+            let stats = AutoScheduler::new(&g, m).run(&order, &mut Belady);
+            let bound = LowerBound::new(&base).sequential_io(g.n(), m as u64);
+            println!(
+                "n = {}, M = {m}: {} loads + {} stores = {} I/Os (Ω bound {:.0}, ratio {:.2})",
+                g.n(),
+                stats.loads,
+                stats.stores,
+                stats.io(),
+                bound,
+                stats.io() as f64 / bound
+            );
+        }
+        "certify" => {
+            let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
+            let r: u32 = parse(args.get(2), "r")?;
+            let m: u64 = parse(args.get(3), "M")?;
+            let g = build_cdag(&base, r);
+            let order = recursive_order(&g);
+            let cert = certify_with(&g, m, &order, CertifyParams::SMALL);
+            println!(
+                "n = {}, M = {m}: {} complete segments, certified I/O ≥ {}",
+                cert.n, cert.analysis.complete_segments, cert.analysis.certified_io
+            );
+            println!(
+                "(k = {}, feasible = {}, disjoint subcomputations = {} ≥ target {})",
+                cert.k, cert.k_feasible, cert.disjoint_subcomputations, cert.lemma1_target
+            );
+        }
+        "routing" => {
+            let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
+            let k: u32 = parse(args.get(2), "k")?;
+            let g = build_cdag(&base, k);
+            let routing = InOutRouting::new(&g)
+                .ok_or("no n₀-capacity Hall matching (paper hypotheses fail)")?;
+            let stats = routing.verify();
+            println!(
+                "6a^k = {}: {} paths, max vertex hits {}, max meta hits {} → {}",
+                routing.theorem2_bound(),
+                stats.paths,
+                stats.max_vertex_hits,
+                stats.max_meta_hits,
+                if stats.is_m_routing(routing.theorem2_bound()) {
+                    "VERIFIED"
+                } else {
+                    "VIOLATED"
+                }
+            );
+        }
+        "report" => {
+            let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
+            let r: u32 = parse(args.get(2), "r")?;
+            let m: u64 = parse(args.get(3), "M")?;
+            let routing_k = if base.a() >= 16 { 1 } else { 2 };
+            let report = mmio_core::report::analyze(&base, r, m, routing_k);
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("serializable")
+            );
+        }
+        _ => return Err(format!("unknown command '{cmd}'")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Black-box tests of the `mmio` binary.
+
+use std::process::Command;
+
+fn mmio(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_mmio"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_shows_builtins() {
+    let out = mmio(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in ["strassen", "winograd", "laderman", "classical2"] {
+        assert!(stdout.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn verify_builtin() {
+    let out = mmio(&["verify", "strassen"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("correct"));
+}
+
+#[test]
+fn verify_unknown_fails() {
+    let out = mmio(&["verify", "nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("unknown algorithm"));
+}
+
+#[test]
+fn export_import_roundtrip() {
+    let exported = mmio(&["export", "winograd"]);
+    assert!(exported.status.success());
+    let dir = std::env::temp_dir().join("mmio_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("winograd.json");
+    std::fs::write(&path, &exported.stdout).unwrap();
+    let verified = mmio(&["verify", path.to_str().unwrap()]);
+    assert!(verified.status.success());
+    assert!(String::from_utf8(verified.stdout)
+        .unwrap()
+        .contains("correct"));
+}
+
+#[test]
+fn corrupted_import_rejected() {
+    let exported = mmio(&["export", "strassen"]);
+    let json = String::from_utf8(exported.stdout).unwrap();
+    // Flip a coefficient: "−1" → "−2" somewhere.
+    let corrupted = json.replacen("\"-1\"", "\"-2\"", 1);
+    assert_ne!(json, corrupted, "fixture must contain a -1 coefficient");
+    let dir = std::env::temp_dir().join("mmio_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.json");
+    std::fs::write(&path, corrupted).unwrap();
+    let out = mmio(&["verify", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("not a matrix multiplication algorithm"));
+}
+
+#[test]
+fn simulate_reports_io() {
+    let out = mmio(&["simulate", "strassen", "3", "16"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("I/Os"));
+    assert!(stdout.contains("ratio"));
+}
+
+#[test]
+fn certify_reports_bound() {
+    let out = mmio(&["certify", "strassen", "4", "8"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("certified I/O ≥"));
+}
+
+#[test]
+fn routing_verifies() {
+    let out = mmio(&["routing", "strassen", "2"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("VERIFIED"));
+}
+
+#[test]
+fn info_emits_json() {
+    let out = mmio(&["info", "laderman"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"omega0\""));
+    assert!(stdout.contains("\"edge_expansion_applies\""));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = mmio(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
+}

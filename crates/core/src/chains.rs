@@ -1,0 +1,240 @@
+//! Lemma 3: a `2n₀^k`-routing *of chains* for the guaranteed dependencies
+//! of `G_k`, built from the base-level Hall matching by the recursive
+//! lifting of Claim 2.
+//!
+//! The base matching assigns to every base dependence `(a_{ij}, c_{ij'})` a
+//! middle-rank vertex (product) `t = match[i][j][j']` with each product
+//! used at most `n₀` times (Lemma 5 + Theorem 3). At depth `k` a dependence
+//! is a digit vector of base dependencies; the lifted chain simply uses the
+//! matched product at every level — Claim 2's "replace a middle-rank pair
+//! with a dependence of `G'_{k-1}`" composition, done in closed form.
+
+use crate::deps::{DepSide, Dependence};
+use crate::hall::MatchingGraph;
+use crate::routing::VertexHitCounter;
+use mmio_cdag::base::Side;
+use mmio_cdag::{index, Cdag, Layer, VertexId, VertexRef};
+
+/// Chain router for one CDAG, holding the per-side Hall matchings.
+pub struct ChainRouter<'g> {
+    g: &'g Cdag,
+    /// `[i][j][j'] → product` for A-side dependencies.
+    table_a: Vec<Vec<Vec<usize>>>,
+    /// `[j][i][i'] → product` for B-side dependencies (shared index = column).
+    table_b: Vec<Vec<Vec<usize>>>,
+}
+
+impl<'g> ChainRouter<'g> {
+    /// Builds the router. Returns `None` when either side lacks an
+    /// `n₀`-capacity Hall matching (violating the paper's assumptions).
+    pub fn new(g: &'g Cdag) -> Option<ChainRouter<'g>> {
+        let base = g.base();
+        let n0 = base.n0();
+        let table_a = MatchingGraph::new(base, Side::A).matching_table(n0)?;
+        let table_b = MatchingGraph::new(base, Side::B).matching_table(n0)?;
+        Some(ChainRouter {
+            g,
+            table_a,
+            table_b,
+        })
+    }
+
+    /// Builds a router from explicit base-level middle-vertex tables
+    /// (`[shared][in_other][out_other] → product`). Used by the routing
+    /// ablation to compare the Hall matching against naive assignments;
+    /// the tables must at least be *admissible* (nonzero encoding and
+    /// decoding coefficients), or chains will contain non-edges.
+    pub fn with_tables(
+        g: &'g Cdag,
+        table_a: Vec<Vec<Vec<usize>>>,
+        table_b: Vec<Vec<Vec<usize>>>,
+    ) -> ChainRouter<'g> {
+        ChainRouter {
+            g,
+            table_a,
+            table_b,
+        }
+    }
+
+    /// The chain realizing `dep`, from its input vertex to its output
+    /// vertex: `2(k+1)` vertices through encoding ranks `0..=k`, the
+    /// product, and decoding ranks `1..=k`.
+    ///
+    /// # Panics
+    /// Panics if `dep` is not guaranteed.
+    pub fn chain(&self, dep: &Dependence) -> Vec<VertexId> {
+        assert!(dep.is_guaranteed(), "chains exist only for guaranteed deps");
+        let g = self.g;
+        let base = g.base();
+        let (n0, a, b) = (base.n0(), base.a(), base.b());
+        let k = g.r() as usize;
+
+        let in_rows = index::unpack(dep.in_row, n0, k);
+        let in_cols = index::unpack(dep.in_col, n0, k);
+        let out_rows = index::unpack(dep.out_row, n0, k);
+        let out_cols = index::unpack(dep.out_col, n0, k);
+
+        // Per-level matched product and entry digits.
+        let (layer, ts): (Layer, Vec<usize>) = match dep.side {
+            DepSide::A => (
+                Layer::EncA,
+                (0..k)
+                    .map(|l| self.table_a[in_rows[l]][in_cols[l]][out_cols[l]])
+                    .collect(),
+            ),
+            DepSide::B => (
+                Layer::EncB,
+                (0..k)
+                    .map(|l| self.table_b[in_cols[l]][in_rows[l]][out_rows[l]])
+                    .collect(),
+            ),
+        };
+        let xs: Vec<usize> = (0..k).map(|l| in_rows[l] * n0 + in_cols[l]).collect();
+        let ys: Vec<usize> = (0..k).map(|l| out_rows[l] * n0 + out_cols[l]).collect();
+
+        let mut path = Vec::with_capacity(2 * (k + 1));
+        // Encoding ranks 0..=k.
+        for l in 0..=k {
+            path.push(g.id(VertexRef {
+                layer,
+                level: l as u32,
+                mul: index::pack(&ts[..l], b),
+                entry: index::pack(&xs[l..], a),
+            }));
+        }
+        // Product = decoding rank 0 (already entered at l=k? No: encoding
+        // rank k is the final combination; the product is its successor).
+        path.push(g.id(VertexRef {
+            layer: Layer::Dec,
+            level: 0,
+            mul: index::pack(&ts, b),
+            entry: 0,
+        }));
+        // Decoding ranks 1..=k.
+        for l in 1..=k {
+            path.push(g.id(VertexRef {
+                layer: Layer::Dec,
+                level: l as u32,
+                mul: index::pack(&ts[..k - l], b),
+                entry: index::pack(&ys[k - l..], a),
+            }));
+        }
+        path
+    }
+
+    /// Routes every guaranteed dependence of `G_k`, feeding paths to the
+    /// counter. Lemma 3: the result is a `2n₀^k`-routing consisting of
+    /// chains.
+    pub fn route_all(&self, counter: &mut VertexHitCounter<'_>) {
+        for dep in crate::deps::all_dependencies(self.g.base().n0(), self.g.r()) {
+            counter.add_path(&self.chain(&dep));
+        }
+    }
+
+    /// The Lemma 3 bound for this graph: `2·n₀^k`.
+    pub fn lemma3_bound(&self) -> u64 {
+        2 * index::pow(self.g.base().n0(), self.g.r())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::{all_dependencies, input_vertex, output_vertex};
+    use crate::routing::is_chain;
+    use mmio_algos::laderman::laderman;
+    use mmio_algos::strassen::{strassen, winograd};
+    use mmio_cdag::build::build_cdag;
+    use mmio_cdag::MetaVertices;
+
+    #[test]
+    fn chains_are_chains_with_correct_endpoints() {
+        let g = build_cdag(&strassen(), 2);
+        let router = ChainRouter::new(&g).unwrap();
+        for dep in all_dependencies(2, 2) {
+            let path = router.chain(&dep);
+            assert_eq!(path.len(), 2 * 3, "2(k+1) vertices");
+            assert!(is_chain(&g, &path), "must follow directed edges");
+            assert_eq!(path[0], input_vertex(&g, &dep));
+            assert_eq!(*path.last().unwrap(), output_vertex(&g, &dep));
+        }
+    }
+
+    #[test]
+    fn lemma3_bound_holds_for_strassen() {
+        for k in 1..=3u32 {
+            let g = build_cdag(&strassen(), k);
+            let meta = MetaVertices::compute(&g);
+            let router = ChainRouter::new(&g).unwrap();
+            let mut counter = VertexHitCounter::new(&g, Some(&meta));
+            router.route_all(&mut counter);
+            let stats = counter.stats();
+            assert!(
+                stats.is_m_routing(router.lemma3_bound()),
+                "k={k}: max hits {} / meta {} exceed {}",
+                stats.max_vertex_hits,
+                stats.max_meta_hits,
+                router.lemma3_bound()
+            );
+            assert_eq!(stats.paths, 2 * 8u64.pow(k));
+        }
+    }
+
+    #[test]
+    fn lemma3_bound_holds_for_winograd() {
+        for k in 1..=2u32 {
+            let g = build_cdag(&winograd(), k);
+            let router = ChainRouter::new(&g).unwrap();
+            let mut counter = VertexHitCounter::new(&g, None);
+            router.route_all(&mut counter);
+            assert!(counter.stats().is_m_routing(router.lemma3_bound()), "k={k}");
+        }
+    }
+
+    #[test]
+    fn lemma3_bound_holds_for_laderman() {
+        let g = build_cdag(&laderman(), 1);
+        let router = ChainRouter::new(&g).unwrap();
+        let mut counter = VertexHitCounter::new(&g, None);
+        router.route_all(&mut counter);
+        let stats = counter.stats();
+        assert!(stats.is_m_routing(router.lemma3_bound()));
+        assert_eq!(stats.paths, 2 * 27);
+    }
+
+    #[test]
+    fn per_side_bound_is_half() {
+        // Each side alone is an n₀^k-routing (middle vertices used ≤ n₀ per
+        // level, multiplicatively).
+        let g = build_cdag(&strassen(), 2);
+        let router = ChainRouter::new(&g).unwrap();
+        let mut counter = VertexHitCounter::new(&g, None);
+        for dep in all_dependencies(2, 2)
+            .into_iter()
+            .filter(|d| d.side == DepSide::A)
+        {
+            counter.add_path(&router.chain(&dep));
+        }
+        let stats = counter.stats();
+        assert!(
+            stats.max_vertex_hits <= 4,
+            "A-side alone must be an n₀^k = 4 routing, got {}",
+            stats.max_vertex_hits
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "guaranteed")]
+    fn unguaranteed_dep_rejected() {
+        let g = build_cdag(&strassen(), 1);
+        let router = ChainRouter::new(&g).unwrap();
+        let bad = Dependence {
+            side: DepSide::A,
+            in_row: 0,
+            in_col: 0,
+            out_row: 1,
+            out_col: 0,
+        };
+        let _ = router.chain(&bad);
+    }
+}

@@ -1,0 +1,236 @@
+//! Claim 1 (Section 5): an `(a+b)·b^k`-routing inside the decoding graph
+//! `D_k` alone — `11·7^k` for Strassen — between its inputs (the products)
+//! and outputs.
+//!
+//! If `D₁` were complete bipartite, the natural level-wise chain would do;
+//! since it is merely *connected*, each missing edge is replaced by a "zag"
+//! path inside the same `D₁` copy (paper Figure 3), multiplying the hit
+//! count by at most `|D₁| = a + b`.
+
+use crate::routing::{RoutingStats, VertexHitCounter};
+use mmio_cdag::{index, Cdag, Layer, VertexId, VertexRef};
+
+/// A node of the base decoding graph `D₁`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DNode {
+    /// Product `τ ∈ [b]`.
+    P(usize),
+    /// Output `υ ∈ [a]`.
+    O(usize),
+}
+
+/// The Section 5 routing in the decoding graph.
+pub struct DecodingRouting<'g> {
+    g: &'g Cdag,
+    /// `zag[τ][υ]`: path in `D₁` from product `τ` to output `υ`
+    /// (alternating, starting at `P(τ)`, ending at `O(υ)`).
+    zag: Vec<Vec<Vec<DNode>>>,
+}
+
+impl<'g> DecodingRouting<'g> {
+    /// Builds the routing. Returns `None` if `D₁` is disconnected (then
+    /// Section 5's approach fails and the full Theorem 2 machinery is
+    /// needed — which is the paper's point).
+    pub fn new(g: &'g Cdag) -> Option<DecodingRouting<'g>> {
+        let base = g.base();
+        let (a, b) = (base.a(), base.b());
+        let dec = base.dec();
+        // BFS in D₁ from every product.
+        let mut zag = vec![vec![Vec::new(); a]; b];
+        for tau in 0..b {
+            // parent pointers over a+b nodes: products 0..b, outputs b..b+a.
+            let mut parent = vec![usize::MAX; a + b];
+            let mut seen = vec![false; a + b];
+            let mut queue = std::collections::VecDeque::new();
+            seen[tau] = true;
+            queue.push_back(DNode::P(tau));
+            while let Some(node) = queue.pop_front() {
+                match node {
+                    DNode::P(p) => {
+                        for o in 0..a {
+                            if !dec[(o, p)].is_zero() && !seen[b + o] {
+                                seen[b + o] = true;
+                                parent[b + o] = p;
+                                queue.push_back(DNode::O(o));
+                            }
+                        }
+                    }
+                    DNode::O(o) => {
+                        for p in 0..b {
+                            if !dec[(o, p)].is_zero() && !seen[p] {
+                                seen[p] = true;
+                                parent[p] = b + o;
+                                queue.push_back(DNode::P(p));
+                            }
+                        }
+                    }
+                }
+            }
+            for upsilon in 0..a {
+                if !seen[b + upsilon] {
+                    return None; // disconnected decoding graph
+                }
+                // Reconstruct path.
+                let mut rev = vec![DNode::O(upsilon)];
+                let mut cur = b + upsilon;
+                while cur != tau {
+                    cur = parent[cur];
+                    rev.push(if cur < b {
+                        DNode::P(cur)
+                    } else {
+                        DNode::O(cur - b)
+                    });
+                }
+                rev.reverse();
+                zag[tau][upsilon] = rev;
+            }
+        }
+        Some(DecodingRouting { g, zag })
+    }
+
+    /// Claim 1's bound: `(a + b) · b^k` (`11·7^k` for Strassen).
+    pub fn claim1_bound(&self) -> u64 {
+        let base = self.g.base();
+        (base.a() + base.b()) as u64 * index::pow(base.b(), self.g.r())
+    }
+
+    /// The path in `D_k` from product `m ∈ [b^k]` to output `y ∈ [a^k]`
+    /// (both packed digit vectors): level-wise composition of zag paths.
+    pub fn path(&self, m: u64, y: u64) -> Vec<VertexId> {
+        let g = self.g;
+        let base = g.base();
+        let (a, b, k) = (base.a(), base.b(), g.r() as usize);
+        let ts = index::unpack(m, b, k);
+        let ys = index::unpack(y, a, k);
+
+        let mut path = vec![g.id(VertexRef {
+            layer: Layer::Dec,
+            level: 0,
+            mul: m,
+            entry: 0,
+        })];
+        // After step l the position is (t₁..t_{k-l}; y_{k-l+1}..y_k).
+        for l in 1..=k {
+            let prefix = index::pack(&ts[..k - l], b);
+            let suffix = index::pack(&ys[k - l + 1..], a);
+            let suffix_len = (l - 1) as u32;
+            let zag = &self.zag[ts[k - l]][ys[k - l]];
+            // First node of the zag is the current vertex; skip it.
+            for node in &zag[1..] {
+                let vref = match *node {
+                    DNode::P(p) => VertexRef {
+                        layer: Layer::Dec,
+                        level: (l - 1) as u32,
+                        mul: prefix * b as u64 + p as u64,
+                        entry: suffix,
+                    },
+                    DNode::O(o) => VertexRef {
+                        layer: Layer::Dec,
+                        level: l as u32,
+                        mul: prefix,
+                        entry: o as u64 * index::pow(a, suffix_len) + suffix,
+                    },
+                };
+                path.push(g.id(vref));
+            }
+        }
+        path
+    }
+
+    /// Streams all `b^k · a^k` product→output paths into `counter`.
+    pub fn route_all(&self, counter: &mut VertexHitCounter<'_>) {
+        let base = self.g.base();
+        let bk = index::pow(base.b(), self.g.r());
+        let ak = index::pow(base.a(), self.g.r());
+        for m in 0..bk {
+            for y in 0..ak {
+                counter.add_path(&self.path(m, y));
+            }
+        }
+    }
+
+    /// Builds, verifies, and summarizes the routing.
+    pub fn verify(&self) -> RoutingStats {
+        let mut counter = VertexHitCounter::new(self.g, None);
+        self.route_all(&mut counter);
+        counter.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_algos::classical::classical;
+    use mmio_algos::laderman::laderman;
+    use mmio_algos::strassen::strassen;
+    use mmio_algos::synthetic::with_dummy_product;
+    use mmio_cdag::build::build_cdag;
+
+    #[test]
+    fn strassen_claim1_holds() {
+        for k in 1..=3u32 {
+            let g = build_cdag(&strassen(), k);
+            let routing = DecodingRouting::new(&g).expect("Strassen's D1 is connected");
+            let stats = routing.verify();
+            assert_eq!(stats.paths, 7u64.pow(k) * 4u64.pow(k));
+            assert!(
+                stats.is_m_routing(routing.claim1_bound()),
+                "k={k}: {} > {}",
+                stats.max_vertex_hits,
+                routing.claim1_bound()
+            );
+            assert_eq!(routing.claim1_bound(), 11 * 7u64.pow(k));
+        }
+    }
+
+    #[test]
+    fn paths_have_valid_endpoints() {
+        let g = build_cdag(&strassen(), 2);
+        let routing = DecodingRouting::new(&g).unwrap();
+        let p = routing.path(13, 5);
+        assert_eq!(
+            p[0],
+            g.id(VertexRef {
+                layer: Layer::Dec,
+                level: 0,
+                mul: 13,
+                entry: 0
+            })
+        );
+        assert_eq!(
+            *p.last().unwrap(),
+            g.id(VertexRef {
+                layer: Layer::Dec,
+                level: 2,
+                mul: 0,
+                entry: 5
+            })
+        );
+        // Paths stay inside the decoding layer.
+        for &v in &p {
+            assert_eq!(g.vref(v).layer, Layer::Dec);
+        }
+    }
+
+    #[test]
+    fn laderman_claim1_holds() {
+        let g = build_cdag(&laderman(), 1);
+        let routing = DecodingRouting::new(&g).expect("Laderman's D1 is connected");
+        let stats = routing.verify();
+        assert!(stats.is_m_routing(routing.claim1_bound()));
+    }
+
+    #[test]
+    fn disconnected_decoding_defeats_section5() {
+        // The dummy-product variant has an isolated decoding vertex: the
+        // Section 5 construction must fail, motivating Theorem 2.
+        let g = build_cdag(&with_dummy_product(&strassen()), 1);
+        assert!(DecodingRouting::new(&g).is_none());
+    }
+
+    #[test]
+    fn classical_decoding_also_defeats_section5() {
+        let g = build_cdag(&classical(2), 1);
+        assert!(DecodingRouting::new(&g).is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! The Section 8 extension: lifting the single-use assumption.
+//!
+//! Without the assumption, a nontrivial combination may feed several
+//! multiplications; Lemma 5's middle-vertex accounting breaks because the
+//! duplicated combination vertices would absorb too many chains. The paper
+//! conjectures the fix: *generalized paths* may "jump" between vertices on
+//! the same rank holding the same value (and hence the same membership in
+//! any meta-closed `S`), and claims this neither reduces boundary-crossing
+//! counts nor pushes any value above `6a^k` generalized hits.
+//!
+//! This module operationalizes the conjecture on concrete violating
+//! algorithms:
+//!
+//! - [`duplicate_groups`]: the products whose (side-)combinations coincide
+//!   in value — the jump targets;
+//! - [`BalancedRouter`]: a chain router that spreads dependencies across
+//!   duplicate products (the deterministic counterpart of "jumping"), so
+//!   hit counts are measured per *value class*;
+//! - [`analyze_generalized`]: the segment argument with value-class
+//!   closures and boundaries — the quantity Section 8 says stays large.
+
+use crate::chains::ChainRouter;
+use crate::hall::MatchingGraph;
+use mmio_cdag::base::Side;
+use mmio_cdag::values::ValueClasses;
+use mmio_cdag::{Cdag, MetaVertices, VertexId};
+use serde::Serialize;
+
+/// Groups of products sharing the same encoding row on `side` (the same
+/// combination value feeding several multiplications). Only nontrivial
+/// rows count — trivial shared rows are copying, which the base theory
+/// already handles.
+pub fn duplicate_groups(g: &Cdag, side: Side) -> Vec<Vec<usize>> {
+    let base = g.base();
+    let enc = base.enc(side);
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut assigned = vec![false; base.b()];
+    for m1 in 0..base.b() {
+        if assigned[m1] || base.row_is_trivial(side, m1) {
+            continue;
+        }
+        let mut group = vec![m1];
+        for (m2, slot) in assigned.iter_mut().enumerate().skip(m1 + 1) {
+            if !*slot && enc.row(m1) == enc.row(m2) {
+                group.push(m2);
+                *slot = true;
+            }
+        }
+        if group.len() > 1 {
+            groups.push(group);
+        }
+    }
+    groups
+}
+
+/// A router that balances dependencies across duplicate products: after
+/// the Hall matching assigns a middle vertex, dependencies whose match
+/// lands in a duplicate group are redistributed round-robin over the
+/// group members that also satisfy the decoding-side admissibility.
+pub struct BalancedRouter<'g> {
+    inner: ChainRouter<'g>,
+}
+
+impl<'g> BalancedRouter<'g> {
+    /// Builds the router. Falls back to the plain Hall matching when the
+    /// graph has no duplicate groups.
+    pub fn new(g: &'g Cdag) -> Option<BalancedRouter<'g>> {
+        let base = g.base();
+        let n0 = base.n0();
+        let mg_a = MatchingGraph::new(base, Side::A);
+        let mg_b = MatchingGraph::new(base, Side::B);
+        let mut table_a = mg_a.matching_table(n0)?;
+        let mut table_b = mg_b.matching_table(n0)?;
+
+        // Redistribute within duplicate groups, round-robin per group,
+        // respecting admissibility of the alternative product.
+        for (side, table) in [(Side::A, &mut table_a), (Side::B, &mut table_b)] {
+            let groups = duplicate_groups(g, side);
+            if groups.is_empty() {
+                continue;
+            }
+            let mg = MatchingGraph::new(base, side);
+            let mut rr = vec![0usize; groups.len()];
+            for d in mg.all_deps() {
+                let current = table[d.shared][d.in_other][d.out_other];
+                let Some((gi, group)) = groups
+                    .iter()
+                    .enumerate()
+                    .find(|(_, grp)| grp.contains(&current))
+                else {
+                    continue;
+                };
+                // Candidates: group members admissible for this dependence.
+                let candidates: Vec<usize> =
+                    group.iter().copied().filter(|&y| mg.edge(&d, y)).collect();
+                if candidates.len() > 1 {
+                    table[d.shared][d.in_other][d.out_other] =
+                        candidates[rr[gi] % candidates.len()];
+                    rr[gi] += 1;
+                }
+            }
+        }
+        Some(BalancedRouter {
+            inner: ChainRouter::with_tables(g, table_a, table_b),
+        })
+    }
+
+    /// The underlying chain router (balanced tables installed).
+    pub fn router(&self) -> &ChainRouter<'g> {
+        &self.inner
+    }
+}
+
+/// One segment's generalized report.
+#[derive(Clone, Debug, Serialize)]
+pub struct GeneralizedSegment {
+    /// Segment bounds in the compute order.
+    pub start: usize,
+    /// Exclusive end.
+    pub end: usize,
+    /// Counted vertices computed in this segment (value-closure counting).
+    pub counted: u64,
+    /// Meta-vertex boundary `|δ'(S')|` (the base theory's quantity).
+    pub meta_boundary: u64,
+    /// Value-class boundary (the Section 8 quantity — classes merge
+    /// duplicated values, so this can only be smaller).
+    pub class_boundary: u64,
+}
+
+/// Segment analysis with value-class closures: partitions `order` into
+/// segments of `threshold` counted vertices where membership closes over
+/// *value classes* (Section 8's "same value ⇒ same membership in S"), and
+/// reports both boundary notions per segment.
+pub fn analyze_generalized(
+    g: &Cdag,
+    order: &[VertexId],
+    counted: &[bool],
+    threshold: u64,
+) -> Vec<GeneralizedSegment> {
+    let vc = ValueClasses::compute(g);
+    let meta = MetaVertices::compute(g);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut counted_in_segment = 0u64;
+    let mut segment_vertices: Vec<VertexId> = Vec::new();
+    let mut counted_seen = vec![false; g.n_vertices()];
+
+    let mut flush = |start: usize, end: usize, counted_n: u64, vs: &[VertexId]| {
+        out.push(GeneralizedSegment {
+            start,
+            end,
+            counted: counted_n,
+            meta_boundary: meta.meta_boundary(g, vs).len() as u64,
+            class_boundary: vc.class_boundary(g, vs).len() as u64,
+        });
+    };
+
+    for (i, &v) in order.iter().enumerate() {
+        segment_vertices.push(v);
+        for &w in vc.members_of(v) {
+            if counted[w.idx()] && !counted_seen[w.idx()] {
+                counted_seen[w.idx()] = true;
+                counted_in_segment += 1;
+            }
+        }
+        if counted_in_segment >= threshold {
+            flush(start, i + 1, counted_in_segment, &segment_vertices);
+            start = i + 1;
+            counted_in_segment = 0;
+            segment_vertices.clear();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::VertexHitCounter;
+    use mmio_algos::strassen::strassen;
+    use mmio_algos::synthetic::with_duplicated_combination;
+    use mmio_cdag::build::build_cdag;
+
+    #[test]
+    fn duplicate_groups_detected() {
+        let base = with_duplicated_combination(&strassen());
+        let g = build_cdag(&base, 1);
+        let ga = duplicate_groups(&g, Side::A);
+        assert_eq!(ga, vec![vec![0, 7]], "M1's A-combination is duplicated");
+        let gb = duplicate_groups(&g, Side::B);
+        assert_eq!(gb, vec![vec![0, 7]]);
+        // Plain Strassen has none.
+        let gs = build_cdag(&strassen(), 1);
+        assert!(duplicate_groups(&gs, Side::A).is_empty());
+    }
+
+    #[test]
+    fn balanced_router_meets_class_bound_on_violating_graph() {
+        // Section 8's claim, checked: on the duplicated variant, counting
+        // hits per *value class*, the routed chains stay within the
+        // Lemma 3 bound.
+        let base = with_duplicated_combination(&strassen());
+        for k in 1..=2u32 {
+            let g = build_cdag(&base, k);
+            let router = BalancedRouter::new(&g).expect("matching exists");
+            let vc = ValueClasses::compute(&g);
+            let mut counter = VertexHitCounter::new(&g, None);
+            router.router().route_all(&mut counter);
+            // Aggregate per value class.
+            let mut class_hits = std::collections::HashMap::new();
+            for v in g.vertices() {
+                *class_hits.entry(vc.class_of(v)).or_insert(0u64) += counter.hits_of(v);
+            }
+            let max = class_hits.values().copied().max().unwrap();
+            let bound = router.router().lemma3_bound();
+            assert!(
+                max <= 2 * bound,
+                "k={k}: class hits {max} far exceed 2·bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn generalized_segments_keep_boundaries_large() {
+        // Section 8's "this optimization does not decrease the number of
+        // boundary-crossing edges": on the violating graph, value-class
+        // boundaries stay within a constant of meta boundaries.
+        use mmio_pebble::orders::recursive_order;
+        let base = with_duplicated_combination(&strassen());
+        let g = build_cdag(&base, 3);
+        let order = recursive_order(&g);
+        let counted: Vec<bool> = g.vertices().map(|v| g.is_output(v)).collect();
+        let segments = analyze_generalized(&g, &order, &counted, 16);
+        assert!(!segments.is_empty());
+        for s in &segments {
+            assert!(s.class_boundary <= s.meta_boundary);
+            assert!(
+                s.class_boundary * 4 >= s.meta_boundary,
+                "classes collapse the boundary too much: {} vs {}",
+                s.class_boundary,
+                s.meta_boundary
+            );
+            assert!(s.class_boundary as f64 >= s.counted as f64 / 12.0);
+        }
+    }
+
+    #[test]
+    fn balanced_router_on_clean_graph_equals_hall() {
+        // No duplicate groups: the balanced router must reduce to the plain
+        // Hall-matched routing, meeting the exact Lemma 3 bound.
+        let g = build_cdag(&strassen(), 2);
+        let router = BalancedRouter::new(&g).unwrap();
+        let mut counter = VertexHitCounter::new(&g, None);
+        router.router().route_all(&mut counter);
+        assert!(counter.stats().is_m_routing(router.router().lemma3_bound()));
+    }
+}

@@ -1,0 +1,276 @@
+//! The bipartite matching graph `H = (X, Y)` of Section 7.2 and the
+//! many-to-one Hall matching (Theorem 3).
+//!
+//! `X` is the set of base-level guaranteed dependencies of `G'₁` (the
+//! decoding graph plus one encoding graph); `Y` is the set of *middle-rank*
+//! vertices (the encoding graph's combination vertices, one per
+//! multiplication). There is an edge `(x, y)` when some chain realizing the
+//! dependence `x` passes through `y` — i.e. `enc[y][in] ≠ 0` and
+//! `dec[out][y] ≠ 0`. Lemma 5 shows `|N(D)| ≥ |D|/n₀` for every `D ⊆ X`, so
+//! by the many-to-one Hall theorem there is a matching using every middle
+//! vertex at most `n₀` times — the backbone of the Lemma 3 routing.
+
+use mmio_cdag::base::Side;
+use mmio_cdag::BaseGraph;
+
+/// A base-level dependence on one side: `(a_{ij}, c_{ij'})` keyed by
+/// `(i, j, j')`, or `(b_{ij}, c_{i'j})` keyed by `(j, i, i')` — uniformly
+/// `(shared, in_other, out_other)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BaseDep {
+    /// The matched index (row `i` for side A, column `j` for side B).
+    pub shared: usize,
+    /// The input's other index (column of `a` / row of `b`).
+    pub in_other: usize,
+    /// The output's other index (column `j'` of `c` / row `i'` of `c`).
+    pub out_other: usize,
+}
+
+/// The matching graph for one side of a base graph.
+pub struct MatchingGraph<'b> {
+    base: &'b BaseGraph,
+    side: Side,
+}
+
+impl<'b> MatchingGraph<'b> {
+    /// Builds the matching graph `H` for `side` of `base`.
+    pub fn new(base: &'b BaseGraph, side: Side) -> MatchingGraph<'b> {
+        MatchingGraph { base, side }
+    }
+
+    /// All `n₀³` base dependencies (the set `X`).
+    pub fn all_deps(&self) -> Vec<BaseDep> {
+        let n0 = self.base.n0();
+        let mut v = Vec::with_capacity(n0 * n0 * n0);
+        for shared in 0..n0 {
+            for in_other in 0..n0 {
+                for out_other in 0..n0 {
+                    v.push(BaseDep {
+                        shared,
+                        in_other,
+                        out_other,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    /// The input-entry flat index of a dependence.
+    pub fn input_entry(&self, d: &BaseDep) -> usize {
+        let n0 = self.base.n0();
+        match self.side {
+            Side::A => d.shared * n0 + d.in_other, // a_{i j}
+            Side::B => d.in_other * n0 + d.shared, // b_{i j}
+        }
+    }
+
+    /// The output-entry flat index of a dependence.
+    pub fn output_entry(&self, d: &BaseDep) -> usize {
+        let n0 = self.base.n0();
+        match self.side {
+            Side::A => d.shared * n0 + d.out_other, // c_{i j'}
+            Side::B => d.out_other * n0 + d.shared, // c_{i' j}
+        }
+    }
+
+    /// Whether a chain realizing `d` can pass through middle vertex `y`
+    /// (product index): both the encoding and decoding coefficients must be
+    /// nonzero.
+    pub fn edge(&self, d: &BaseDep, y: usize) -> bool {
+        let enc = self.base.enc(self.side);
+        let dec = self.base.dec();
+        !enc[(y, self.input_entry(d))].is_zero() && !dec[(self.output_entry(d), y)].is_zero()
+    }
+
+    /// Neighborhood `N(D)` in `Y` of a set of dependencies.
+    pub fn neighborhood(&self, ds: &[BaseDep]) -> Vec<usize> {
+        (0..self.base.b())
+            .filter(|&y| ds.iter().any(|d| self.edge(d, y)))
+            .collect()
+    }
+
+    /// Computes a many-to-one matching: every dependence in `X` assigned a
+    /// middle vertex, each middle vertex used at most `capacity` times.
+    /// Returns `None` if no such matching exists (Hall's condition violated
+    /// at this capacity).
+    ///
+    /// Kuhn's augmenting-path algorithm on the capacity-expanded graph; `X`
+    /// has `n₀³ ≤ 64` vertices for the base graphs in this workspace, so
+    /// complexity is irrelevant.
+    pub fn hall_matching(&self, capacity: usize) -> Option<Vec<usize>> {
+        let deps = self.all_deps();
+        let b = self.base.b();
+        // match_y[y] = list of dep indices currently assigned to y.
+        let mut assigned_to: Vec<Vec<usize>> = vec![Vec::new(); b];
+        let mut dep_match: Vec<Option<usize>> = vec![None; deps.len()];
+
+        fn try_assign(
+            xi: usize,
+            deps: &[BaseDep],
+            graph: &MatchingGraph<'_>,
+            capacity: usize,
+            assigned_to: &mut Vec<Vec<usize>>,
+            dep_match: &mut Vec<Option<usize>>,
+            visited_y: &mut Vec<bool>,
+        ) -> bool {
+            for y in 0..graph.base.b() {
+                if visited_y[y] || !graph.edge(&deps[xi], y) {
+                    continue;
+                }
+                visited_y[y] = true;
+                if assigned_to[y].len() < capacity {
+                    assigned_to[y].push(xi);
+                    dep_match[xi] = Some(y);
+                    return true;
+                }
+                // Try to displace one of y's current assignees.
+                for slot in 0..assigned_to[y].len() {
+                    let other = assigned_to[y][slot];
+                    if try_assign(
+                        other,
+                        deps,
+                        graph,
+                        capacity,
+                        assigned_to,
+                        dep_match,
+                        visited_y,
+                    ) {
+                        assigned_to[y][slot] = xi;
+                        dep_match[xi] = Some(y);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+
+        for xi in 0..deps.len() {
+            let mut visited = vec![false; b];
+            if !try_assign(
+                xi,
+                &deps,
+                self,
+                capacity,
+                &mut assigned_to,
+                &mut dep_match,
+                &mut visited,
+            ) {
+                return None;
+            }
+        }
+        Some(dep_match.into_iter().map(|m| m.unwrap()).collect())
+    }
+
+    /// Convenience: matching keyed by `(shared, in_other, out_other)`, i.e.
+    /// `matched[shared][in_other][out_other] = product index`.
+    pub fn matching_table(&self, capacity: usize) -> Option<Vec<Vec<Vec<usize>>>> {
+        let n0 = self.base.n0();
+        let flat = self.hall_matching(capacity)?;
+        let mut table = vec![vec![vec![0usize; n0]; n0]; n0];
+        for (xi, d) in self.all_deps().iter().enumerate() {
+            table[d.shared][d.in_other][d.out_other] = flat[xi];
+        }
+        Some(table)
+    }
+
+    /// Ablation baseline: assign every dependence to its *first* admissible
+    /// middle vertex, ignoring capacities. Valid chains, but middle vertices
+    /// can be overloaded far beyond `n₀` — quantifying what the Hall
+    /// matching buys (see the `ablation_routing` experiment).
+    ///
+    /// # Panics
+    /// Panics if some dependence has no admissible middle vertex at all
+    /// (the algorithm would then be incorrect).
+    pub fn greedy_first_table(&self) -> Vec<Vec<Vec<usize>>> {
+        let n0 = self.base.n0();
+        let mut table = vec![vec![vec![0usize; n0]; n0]; n0];
+        for d in self.all_deps() {
+            let y = (0..self.base.b())
+                .find(|&y| self.edge(&d, y))
+                .expect("every guaranteed dependence has a realizing chain");
+            table[d.shared][d.in_other][d.out_other] = y;
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_algos::laderman::laderman;
+    use mmio_algos::registry::strassen_squared;
+    use mmio_algos::strassen::{strassen, winograd};
+
+    fn check_matching(base: &BaseGraph, side: Side) {
+        let n0 = base.n0();
+        let g = MatchingGraph::new(base, side);
+        let m = g
+            .hall_matching(n0)
+            .unwrap_or_else(|| panic!("{} side {side:?}: no n0-matching", base.name()));
+        // Validity: every matched pair is an edge; capacities respected.
+        let deps = g.all_deps();
+        let mut usage = vec![0usize; base.b()];
+        for (xi, &y) in m.iter().enumerate() {
+            assert!(g.edge(&deps[xi], y), "matched non-edge");
+            usage[y] += 1;
+        }
+        assert!(usage.iter().all(|&u| u <= n0), "capacity exceeded");
+    }
+
+    #[test]
+    fn strassen_has_n0_matching_both_sides() {
+        check_matching(&strassen(), Side::A);
+        check_matching(&strassen(), Side::B);
+    }
+
+    #[test]
+    fn winograd_has_n0_matching_both_sides() {
+        check_matching(&winograd(), Side::A);
+        check_matching(&winograd(), Side::B);
+    }
+
+    #[test]
+    fn laderman_has_n0_matching_both_sides() {
+        check_matching(&laderman(), Side::A);
+        check_matching(&laderman(), Side::B);
+    }
+
+    #[test]
+    fn strassen_squared_has_n0_matching() {
+        check_matching(&strassen_squared(), Side::A);
+        check_matching(&strassen_squared(), Side::B);
+    }
+
+    #[test]
+    fn capacity_one_is_infeasible_for_strassen() {
+        // 8 dependencies per row index i, only 7 products: capacity 1 cannot
+        // match all n0³ = 8 dependencies into ≤ 7 middle vertices.
+        let base = strassen();
+        let g = MatchingGraph::new(&base, Side::A);
+        assert!(g.hall_matching(1).is_none());
+    }
+
+    #[test]
+    fn matching_table_consistent() {
+        let base = strassen();
+        let g = MatchingGraph::new(&base, Side::A);
+        let table = g.matching_table(2).unwrap();
+        for d in g.all_deps() {
+            let y = table[d.shared][d.in_other][d.out_other];
+            assert!(g.edge(&d, y));
+        }
+    }
+
+    #[test]
+    fn neighborhood_respects_hall_condition() {
+        // Spot-check Lemma 5's conclusion on full per-i slices.
+        let base = strassen();
+        let g = MatchingGraph::new(&base, Side::A);
+        for i in 0..2 {
+            let slice: Vec<BaseDep> = g.all_deps().into_iter().filter(|d| d.shared == i).collect();
+            let n = g.neighborhood(&slice);
+            assert!(n.len() * base.n0() >= slice.len());
+        }
+    }
+}

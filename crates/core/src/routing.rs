@@ -1,0 +1,178 @@
+//! Routings and their verification (Definition 2, Theorem 2).
+//!
+//! An *m-routing* between vertex sets `X` and `Y` is a family of `|X|·|Y|`
+//! undirected paths, one per pair, such that no vertex of the graph lies on
+//! more than `m` of them (counting multiplicity). The Routing Theorem
+//! produces `6a^k`-routings between the inputs and outputs of `G_k`; this
+//! module provides the streaming hit-counting used to *verify* every
+//! constructed routing, both per vertex and per meta-vertex.
+
+use mmio_cdag::{Cdag, MetaVertices, VertexId};
+use serde::Serialize;
+
+/// Streaming hit counter over a CDAG's vertices (and optionally its
+/// meta-vertices).
+pub struct VertexHitCounter<'g> {
+    g: &'g Cdag,
+    hits: Vec<u64>,
+    meta: Option<(&'g MetaVertices, Vec<u64>)>,
+    paths: u64,
+    length_sum: u64,
+}
+
+/// Summary statistics of a verified routing.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct RoutingStats {
+    /// Number of paths in the routing.
+    pub paths: u64,
+    /// Total path length (vertices, counted with multiplicity).
+    pub total_length: u64,
+    /// Maximum hits over all vertices — the routing's actual `m`.
+    pub max_vertex_hits: u64,
+    /// Maximum hits over all meta-vertices (0 if not tracked).
+    pub max_meta_hits: u64,
+}
+
+impl<'g> VertexHitCounter<'g> {
+    /// Creates a counter; pass `meta` to also track meta-vertex hits
+    /// (a path hitting several vertices of one meta-vertex counts once per
+    /// vertex, as in the paper's counting).
+    pub fn new(g: &'g Cdag, meta: Option<&'g MetaVertices>) -> VertexHitCounter<'g> {
+        VertexHitCounter {
+            g,
+            hits: vec![0; g.n_vertices()],
+            meta: meta.map(|m| (m, vec![0; g.n_vertices()])),
+            paths: 0,
+            length_sum: 0,
+        }
+    }
+
+    /// Records one path. Vertex hits count per occurrence; a meta-vertex is
+    /// hit once per path that touches it (the paper's counting — "any path
+    /// hitting a meta-vertex also hits the root vertex", proof of
+    /// Theorem 2).
+    pub fn add_path(&mut self, path: &[VertexId]) {
+        debug_assert!(!path.is_empty());
+        debug_assert!(
+            path.windows(2).all(|w| {
+                self.g.preds(w[1]).contains(&w[0]) || self.g.succs(w[1]).contains(&w[0])
+            }),
+            "path contains a non-edge"
+        );
+        self.paths += 1;
+        self.length_sum += path.len() as u64;
+        for &v in path {
+            self.hits[v.idx()] += 1;
+        }
+        if let Some((meta, mhits)) = &mut self.meta {
+            let mut touched: Vec<usize> = path
+                .iter()
+                .map(|&v| meta.root_vertex(meta.meta_of(v)).idx())
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            for root in touched {
+                mhits[root] += 1;
+            }
+        }
+    }
+
+    /// Hits of a specific vertex.
+    pub fn hits_of(&self, v: VertexId) -> u64 {
+        self.hits[v.idx()]
+    }
+
+    /// Finishes counting and returns summary statistics.
+    pub fn stats(&self) -> RoutingStats {
+        RoutingStats {
+            paths: self.paths,
+            total_length: self.length_sum,
+            max_vertex_hits: self.hits.iter().copied().max().unwrap_or(0),
+            max_meta_hits: self
+                .meta
+                .as_ref()
+                .map(|(_, mh)| mh.iter().copied().max().unwrap_or(0))
+                .unwrap_or(0),
+        }
+    }
+}
+
+impl RoutingStats {
+    /// Checks the routing against a claimed bound `m` (vertex hits, and
+    /// meta hits if tracked).
+    pub fn is_m_routing(&self, m: u64) -> bool {
+        self.max_vertex_hits <= m && self.max_meta_hits <= m
+    }
+}
+
+/// Checks that a path is a *chain*: consecutive vertices connected by
+/// directed edges all pointing forward (a monotone path from input toward
+/// output).
+pub fn is_chain(g: &Cdag, path: &[VertexId]) -> bool {
+    path.windows(2).all(|w| g.preds(w[1]).contains(&w[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_algos::strassen::strassen;
+    use mmio_cdag::build::build_cdag;
+
+    #[test]
+    fn counting_and_stats() {
+        let g = build_cdag(&strassen(), 1);
+        let mut counter = VertexHitCounter::new(&g, None);
+        let input = g.inputs().next().unwrap();
+        let combo = g.succs(input)[0];
+        counter.add_path(&[input, combo]);
+        counter.add_path(&[input, combo]);
+        let stats = counter.stats();
+        assert_eq!(stats.paths, 2);
+        assert_eq!(stats.total_length, 4);
+        assert_eq!(stats.max_vertex_hits, 2);
+        assert!(stats.is_m_routing(2));
+        assert!(!stats.is_m_routing(1));
+        assert_eq!(counter.hits_of(input), 2);
+    }
+
+    #[test]
+    fn meta_counting_once_per_path() {
+        let g = build_cdag(&strassen(), 1);
+        let meta = MetaVertices::compute(&g);
+        let mut counter = VertexHitCounter::new(&g, Some(&meta));
+        // A path through both members of one meta-vertex hits the meta once
+        // (per path), though each vertex is hit individually.
+        let input = g.input_b(0, 0); // b11: copied bare into M2
+        let copy = g
+            .succs(input)
+            .iter()
+            .copied()
+            .find(|&s| meta.meta_of(s) == meta.meta_of(input))
+            .expect("b11 must have a copy vertex in Strassen");
+        counter.add_path(&[input, copy]);
+        counter.add_path(&[input, copy]);
+        let stats = counter.stats();
+        assert_eq!(stats.max_vertex_hits, 2);
+        assert_eq!(stats.max_meta_hits, 2, "once per path, two paths");
+    }
+
+    #[test]
+    fn chain_detection() {
+        let g = build_cdag(&strassen(), 1);
+        let input = g.inputs().next().unwrap();
+        let combo = g.succs(input)[0];
+        assert!(is_chain(&g, &[input, combo]));
+        assert!(!is_chain(&g, &[combo, input]));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-edge")]
+    fn non_edge_paths_rejected_in_debug() {
+        let g = build_cdag(&strassen(), 1);
+        let mut counter = VertexHitCounter::new(&g, None);
+        let i1 = g.inputs().next().unwrap();
+        let out = g.outputs().next().unwrap();
+        counter.add_path(&[i1, out]);
+    }
+}

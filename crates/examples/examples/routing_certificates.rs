@@ -1,0 +1,78 @@
+//! Construct and verify the paper's path routings for every algorithm in
+//! the library.
+//!
+//! For each base graph this prints, at increasing recursion depth `k`:
+//! the Claim 1 routing in the decoding graph (when the decoding graph is
+//! connected), and the Routing Theorem's `6a^k`-routing between the inputs
+//! and outputs of `G_k` — with the actually measured maximum vertex and
+//! meta-vertex hit counts next to the proven bounds.
+//!
+//! ```text
+//! cargo run --release -p mmio-examples --example routing_certificates
+//! ```
+
+use mmio_algos::registry::all_base_graphs;
+use mmio_cdag::build::build_cdag;
+use mmio_core::claim1::DecodingRouting;
+use mmio_core::theorem2::InOutRouting;
+
+fn main() {
+    println!(
+        "{:<22} {:>2} | {:>14} {:>12} | {:>12} {:>10} {:>10}",
+        "base graph", "k", "claim1 m-bound", "measured", "thm2 bound", "max vert", "max meta"
+    );
+    for base in all_base_graphs() {
+        // Keep path counts manageable: 2a^{2k} paths.
+        let max_k = if base.a() >= 16 { 1 } else { 2 };
+        for k in 1..=max_k {
+            let g = build_cdag(&base, k);
+            let claim1 = match DecodingRouting::new(&g) {
+                Some(routing) => {
+                    let stats = routing.verify();
+                    assert!(
+                        stats.is_m_routing(routing.claim1_bound()),
+                        "Claim 1 violated for {}",
+                        base.name()
+                    );
+                    format!(
+                        "{:>14} {:>12}",
+                        routing.claim1_bound(),
+                        stats.max_vertex_hits
+                    )
+                }
+                None => format!("{:>14} {:>12}", "disconnected", "—"),
+            };
+            match InOutRouting::new(&g) {
+                Some(routing) => {
+                    let stats = routing.verify();
+                    assert!(
+                        stats.is_m_routing(routing.theorem2_bound()),
+                        "Routing Theorem violated for {}",
+                        base.name()
+                    );
+                    println!(
+                        "{:<22} {:>2} | {claim1} | {:>12} {:>10} {:>10}",
+                        base.name(),
+                        k,
+                        routing.theorem2_bound(),
+                        stats.max_vertex_hits,
+                        stats.max_meta_hits
+                    );
+                }
+                None => {
+                    println!(
+                        "{:<22} {:>2} | {claim1} | {:>12} {:>10} {:>10}",
+                        base.name(),
+                        k,
+                        "no matching",
+                        "—",
+                        "—"
+                    );
+                }
+            }
+        }
+    }
+    println!("\nEvery constructed routing satisfies its proven m-bound; the");
+    println!("disconnected decoding graphs (classical, strassen+dummy) defeat");
+    println!("the Section 5 construction — exactly the gap Theorem 2 closes.");
+}

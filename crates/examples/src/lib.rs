@@ -1,0 +1,43 @@
+//! # mmio-examples
+//!
+//! Runnable examples for the `mmio` workspace. Each example is a standalone
+//! binary under `examples/` (also reachable from the repository root via
+//! the `examples` symlink):
+//!
+//! - `quickstart` — the 5-minute tour: verify Strassen symbolically,
+//!   multiply real matrices, build the CDAG, measure I/O, compare with
+//!   Theorem 1.
+//! - `routing_certificates` — construct and verify the paper's routings
+//!   (Claim 1 and the Routing Theorem) for every algorithm in the library.
+//! - `io_sweep` — the I/O-vs-cache-size experiment: measured I/O of the
+//!   recursive schedule against the `(n/√M)^{ω₀}·M` lower bound.
+//! - `parallel_scaling` — bandwidth cost vs processor count: CAPS
+//!   simulation, distributed-CDAG accounting, and a real threaded run.
+//! - `pebble_playground` — the red–blue pebble game on a tiny CDAG:
+//!   exact optimal I/O vs scheduled I/O under different policies.
+//! - `custom_algorithm` — define an algorithm as JSON, import it with
+//!   forced verification, and run the whole pipeline on it.
+//!
+//! Run with `cargo run --release -p mmio-examples --example <name>`.
+
+/// Formats a floating bound and an integer measurement side by side.
+pub fn ratio_line(label: &str, measured: u64, bound: f64) -> String {
+    let ratio = if bound > 0.0 {
+        measured as f64 / bound
+    } else {
+        f64::NAN
+    };
+    format!("{label:<28} measured {measured:>12}   bound {bound:>14.1}   ratio {ratio:>7.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_line_formats() {
+        let line = ratio_line("x", 100, 50.0);
+        assert!(line.contains("ratio"));
+        assert!(line.contains("2.00"));
+    }
+}

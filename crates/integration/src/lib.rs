@@ -1,0 +1,7 @@
+//! # mmio-integration
+//!
+//! Cross-crate integration tests for the `mmio` workspace live in this
+//! crate's `tests/` directory (the crate itself is empty): end-to-end
+//! pipelines from base-graph definition through CDAG semantics, routing
+//! verification, scheduling, and lower-bound certification, plus
+//! property-based invariants.

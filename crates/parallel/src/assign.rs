@@ -1,0 +1,176 @@
+//! Vertex → processor assignments.
+//!
+//! The memory-independent bound of Theorem 1 assumes computation is *load
+//! balanced per rank* of the CDAG; assignments here either satisfy that
+//! hypothesis by construction (block/cyclic per rank) or deliberately
+//! violate it (owner-computes-all) to show the bound's hypothesis matters.
+
+use mmio_cdag::{Cdag, VertexId};
+use rand::Rng;
+
+/// An assignment of every vertex to a processor in `[p]`.
+pub struct Assignment {
+    /// Processor of each vertex.
+    pub proc_of: Vec<u32>,
+    /// Number of processors.
+    pub p: u32,
+}
+
+impl Assignment {
+    /// Processor of vertex `v`.
+    pub fn of(&self, v: VertexId) -> u32 {
+        self.proc_of[v.idx()]
+    }
+
+    /// Checks per-rank load balance within a multiplicative `slack` of the
+    /// ideal `rank_size/p` (ranks smaller than `p` are exempt — they cannot
+    /// be balanced).
+    pub fn is_rank_balanced(&self, g: &Cdag, slack: f64) -> bool {
+        let max_rank = 2 * g.r() + 1;
+        for rank in 0..=max_rank {
+            let members: Vec<VertexId> = g.vertices().filter(|&v| g.rank(v) == rank).collect();
+            if members.len() < self.p as usize {
+                continue;
+            }
+            let mut per_proc = vec![0u64; self.p as usize];
+            for &v in &members {
+                per_proc[self.of(v) as usize] += 1;
+            }
+            let ideal = members.len() as f64 / self.p as f64;
+            if per_proc.iter().any(|&c| c as f64 > ideal * slack) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Cyclic assignment within each rank: vertex `i` of a rank goes to
+/// processor `i mod p`. Perfectly rank-balanced.
+pub fn cyclic_per_rank(g: &Cdag, p: u32) -> Assignment {
+    let max_rank = 2 * g.r() + 1;
+    let mut proc_of = vec![0u32; g.n_vertices()];
+    for rank in 0..=max_rank {
+        for (i, v) in g.vertices().filter(|&v| g.rank(v) == rank).enumerate() {
+            proc_of[v.idx()] = (i as u32) % p;
+        }
+    }
+    Assignment { proc_of, p }
+}
+
+/// Contiguous block assignment within each rank (better locality than
+/// cyclic for recursive structures, still rank-balanced).
+pub fn block_per_rank(g: &Cdag, p: u32) -> Assignment {
+    let max_rank = 2 * g.r() + 1;
+    let mut proc_of = vec![0u32; g.n_vertices()];
+    for rank in 0..=max_rank {
+        let members: Vec<VertexId> = g.vertices().filter(|&v| g.rank(v) == rank).collect();
+        let chunk = members.len().div_ceil(p as usize).max(1);
+        for (i, v) in members.into_iter().enumerate() {
+            proc_of[v.idx()] = ((i / chunk) as u32).min(p - 1);
+        }
+    }
+    Assignment { proc_of, p }
+}
+
+/// Subtree assignment: the whole subcomputation with top-level
+/// multiplication digit `t₁` goes to processor `t₁ mod p` (one BFS step of
+/// CAPS); the inputs/outputs (encoding rank 0, decoding rank `r`) stay
+/// cyclically distributed. Rank-balanced only in the middle when `p ≤ b`.
+pub fn by_top_subproblem(g: &Cdag, p: u32) -> Assignment {
+    let b = g.base().b();
+    let mut proc_of = vec![0u32; g.n_vertices()];
+    for v in g.vertices() {
+        let vr = g.vref(v);
+        let top_digit = |mul: u64, len: u32| -> Option<u32> {
+            if len == 0 {
+                None
+            } else {
+                Some((mul / mmio_cdag::index::pow(b, len - 1)) as u32)
+            }
+        };
+        let len = g.mul_len(vr.layer, vr.level);
+        proc_of[v.idx()] = match top_digit(vr.mul, len) {
+            Some(t1) => t1 % p,
+            // Inputs of the whole problem / final outputs: spread cyclically.
+            None => v.0 % p,
+        };
+    }
+    Assignment { proc_of, p }
+}
+
+/// Everything on processor 0 — the degenerate assignment (zero
+/// communication, maximally imbalanced). Violates the memory-independent
+/// bound's hypothesis; used to show that hypothesis is necessary.
+pub fn all_on_one(g: &Cdag, p: u32) -> Assignment {
+    Assignment {
+        proc_of: vec![0; g.n_vertices()],
+        p,
+    }
+}
+
+/// Uniformly random assignment.
+pub fn random<R: Rng>(g: &Cdag, p: u32, rng: &mut R) -> Assignment {
+    Assignment {
+        proc_of: (0..g.n_vertices()).map(|_| rng.gen_range(0..p)).collect(),
+        p,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_algos::strassen::strassen;
+    use mmio_cdag::build::build_cdag;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cyclic_is_rank_balanced() {
+        let g = build_cdag(&strassen(), 3);
+        for p in [2u32, 4, 7] {
+            let a = cyclic_per_rank(&g, p);
+            assert!(a.is_rank_balanced(&g, 1.5), "p={p}");
+        }
+    }
+
+    #[test]
+    fn block_is_rank_balanced() {
+        let g = build_cdag(&strassen(), 3);
+        let a = block_per_rank(&g, 4);
+        assert!(a.is_rank_balanced(&g, 2.0));
+    }
+
+    #[test]
+    fn all_on_one_is_imbalanced() {
+        let g = build_cdag(&strassen(), 3);
+        let a = all_on_one(&g, 4);
+        assert!(!a.is_rank_balanced(&g, 2.0));
+    }
+
+    #[test]
+    fn assignments_cover_range() {
+        let g = build_cdag(&strassen(), 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        for a in [
+            cyclic_per_rank(&g, 3),
+            block_per_rank(&g, 3),
+            by_top_subproblem(&g, 3),
+            random(&g, 3, &mut rng),
+        ] {
+            assert!(g.vertices().all(|v| a.of(v) < 3));
+        }
+    }
+
+    #[test]
+    fn subproblem_assignment_groups_subtrees() {
+        let g = build_cdag(&strassen(), 2);
+        let a = by_top_subproblem(&g, 7);
+        // All products with the same top digit share a processor.
+        for m in g.products() {
+            let vr = g.vref(m);
+            let t1 = (vr.mul / 7) as u32;
+            assert_eq!(a.of(m), t1 % 7);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Strict simulation of explicit schedules against the model rules.
+
+use crate::schedule::{Action, Schedule};
+use crate::stats::IoStats;
+use mmio_cdag::{Cdag, VertexId};
+use std::collections::HashSet;
+
+/// A violation of the machine-model rules.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// Load of a value not residing in slow memory (not an input, never
+    /// stored).
+    LoadUnavailable(VertexId),
+    /// Load into a full cache.
+    CacheFull(VertexId),
+    /// Load of a value already in cache.
+    AlreadyCached(VertexId),
+    /// Store or drop of a value not in cache.
+    NotCached(VertexId),
+    /// Compute with a predecessor missing from cache.
+    MissingOperand { vertex: VertexId, operand: VertexId },
+    /// Vertex computed twice (the model forbids recomputation).
+    Recompute(VertexId),
+    /// Compute of an input vertex (inputs are given, not computed).
+    ComputeInput(VertexId),
+    /// Schedule ended with an output never stored to slow memory.
+    OutputNotStored(VertexId),
+    /// Schedule ended with a vertex never computed.
+    NotComputed(VertexId),
+}
+
+/// Runs `schedule` on the CDAG under cache size `m`, verifying every rule.
+/// Returns the exact I/O counts.
+///
+/// The terminal conditions require *all* vertices computed (the schedule is
+/// for the whole algorithm) and all outputs stored.
+pub fn simulate(g: &Cdag, schedule: &Schedule, m: usize) -> Result<IoStats, SimError> {
+    let mut cache: HashSet<VertexId> = HashSet::new();
+    let mut computed = vec![false; g.n_vertices()];
+    let mut stored = vec![false; g.n_vertices()];
+    let mut stats = IoStats::default();
+
+    for &action in &schedule.actions {
+        match action {
+            Action::Load(v) => {
+                let in_slow = g.is_input(v) || stored[v.idx()];
+                if !in_slow {
+                    return Err(SimError::LoadUnavailable(v));
+                }
+                if cache.contains(&v) {
+                    return Err(SimError::AlreadyCached(v));
+                }
+                if cache.len() >= m {
+                    return Err(SimError::CacheFull(v));
+                }
+                cache.insert(v);
+                stats.loads += 1;
+            }
+            Action::Store(v) => {
+                if !cache.contains(&v) {
+                    return Err(SimError::NotCached(v));
+                }
+                stored[v.idx()] = true;
+                stats.stores += 1;
+            }
+            Action::Drop(v) => {
+                if !cache.remove(&v) {
+                    return Err(SimError::NotCached(v));
+                }
+            }
+            Action::Compute(v) => {
+                if g.is_input(v) {
+                    return Err(SimError::ComputeInput(v));
+                }
+                if computed[v.idx()] {
+                    return Err(SimError::Recompute(v));
+                }
+                for &p in g.preds(v) {
+                    if !cache.contains(&p) {
+                        return Err(SimError::MissingOperand {
+                            vertex: v,
+                            operand: p,
+                        });
+                    }
+                }
+                if cache.len() >= m {
+                    return Err(SimError::CacheFull(v));
+                }
+                cache.insert(v);
+                computed[v.idx()] = true;
+                stats.computes += 1;
+            }
+        }
+    }
+
+    for v in g.vertices() {
+        if !g.is_input(v) && !computed[v.idx()] {
+            return Err(SimError::NotComputed(v));
+        }
+    }
+    for v in g.outputs() {
+        if !stored[v.idx()] {
+            return Err(SimError::OutputNotStored(v));
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_cdag::build::build_cdag;
+    use mmio_cdag::BaseGraph;
+    use mmio_matrix::{Matrix, Rational};
+
+    /// The trivial 1×1 CDAG at r=1: inputs a, b; combos; product; output.
+    fn tiny() -> Cdag {
+        let one = Matrix::from_vec(1, 1, vec![Rational::ONE]);
+        build_cdag(&BaseGraph::new("tiny", 1, one.clone(), one.clone(), one), 1)
+    }
+
+    /// A full valid schedule for `tiny`.
+    fn valid_schedule(g: &Cdag) -> Schedule {
+        let a = g.input_a(0, 0);
+        let b = g.input_b(0, 0);
+        let non_inputs: Vec<VertexId> = g.vertices().filter(|&v| !g.is_input(v)).collect();
+        let out = g.outputs().next().unwrap();
+        let mut actions = vec![Action::Load(a), Action::Load(b)];
+        actions.extend(non_inputs.iter().map(|&v| Action::Compute(v)));
+        actions.push(Action::Store(out));
+        Schedule { actions }
+    }
+
+    #[test]
+    fn valid_schedule_counts() {
+        let g = tiny();
+        let s = valid_schedule(&g);
+        let stats = simulate(&g, &s, 16).unwrap();
+        assert_eq!(stats.loads, 2);
+        assert_eq!(stats.stores, 1);
+        assert_eq!(stats.computes as usize, g.n_vertices() - 2);
+        assert_eq!(stats.io(), 3);
+    }
+
+    #[test]
+    fn cache_too_small_detected() {
+        let g = tiny();
+        let s = valid_schedule(&g);
+        // Needs ≥3 live slots at the product step (a-combo, b-combo, result)…
+        // with M=2 some action must fail.
+        assert!(simulate(&g, &s, 2).is_err());
+    }
+
+    #[test]
+    fn compute_without_operand_rejected() {
+        let g = tiny();
+        let prod = g.products().next().unwrap();
+        let s = Schedule {
+            actions: vec![Action::Compute(prod)],
+        };
+        assert!(matches!(
+            simulate(&g, &s, 16),
+            Err(SimError::MissingOperand { .. })
+        ));
+    }
+
+    #[test]
+    fn recompute_rejected() {
+        let g = tiny();
+        let a = g.input_a(0, 0);
+        let b = g.input_b(0, 0);
+        // EncA level 1 combo (copy of a).
+        let combo = g.succs(a)[0];
+        let s = Schedule {
+            actions: vec![
+                Action::Load(a),
+                Action::Load(b),
+                Action::Compute(combo),
+                Action::Compute(combo),
+            ],
+        };
+        assert_eq!(simulate(&g, &s, 16), Err(SimError::Recompute(combo)));
+    }
+
+    #[test]
+    fn load_of_never_stored_intermediate_rejected() {
+        let g = tiny();
+        let prod = g.products().next().unwrap();
+        let s = Schedule {
+            actions: vec![Action::Load(prod)],
+        };
+        assert_eq!(simulate(&g, &s, 16), Err(SimError::LoadUnavailable(prod)));
+    }
+
+    #[test]
+    fn missing_output_store_rejected() {
+        let g = tiny();
+        let mut s = valid_schedule(&g);
+        s.actions.pop(); // remove the Store
+        assert!(matches!(
+            simulate(&g, &s, 16),
+            Err(SimError::OutputNotStored(_))
+        ));
+    }
+
+    #[test]
+    fn incomplete_computation_rejected() {
+        let g = tiny();
+        let a = g.input_a(0, 0);
+        let s = Schedule {
+            actions: vec![Action::Load(a)],
+        };
+        assert!(matches!(
+            simulate(&g, &s, 16),
+            Err(SimError::NotComputed(_))
+        ));
+    }
+
+    #[test]
+    fn drop_frees_space() {
+        let g = tiny();
+        let a = g.input_a(0, 0);
+        let b = g.input_b(0, 0);
+        let combo_a = g.succs(a)[0];
+        let combo_b = g.succs(b)[0];
+        let prod = g.products().next().unwrap();
+        let out = g.outputs().next().unwrap();
+        // M = 3 with explicit drops: load a, compute combo_a, drop a, load b,
+        // compute combo_b, drop b, compute prod (needs combo_a+combo_b+slot = 3 ✓)…
+        let s = Schedule {
+            actions: vec![
+                Action::Load(a),
+                Action::Compute(combo_a),
+                Action::Drop(a),
+                Action::Load(b),
+                Action::Compute(combo_b),
+                Action::Drop(b),
+                Action::Compute(prod),
+                Action::Drop(combo_a),
+                Action::Drop(combo_b),
+                Action::Compute(out),
+                Action::Store(out),
+            ],
+        };
+        let stats = simulate(&g, &s, 3).unwrap();
+        assert_eq!(stats.io(), 3);
+    }
+
+    #[test]
+    fn store_reload_roundtrip() {
+        let g = tiny();
+        let a = g.input_a(0, 0);
+        let b = g.input_b(0, 0);
+        let combo_a = g.succs(a)[0];
+        let combo_b = g.succs(b)[0];
+        let prod = g.products().next().unwrap();
+        let out = g.outputs().next().unwrap();
+        // Store combo_a, drop it, reload it later: exercises spilling.
+        let s = Schedule {
+            actions: vec![
+                Action::Load(a),
+                Action::Compute(combo_a),
+                Action::Store(combo_a),
+                Action::Drop(combo_a),
+                Action::Drop(a),
+                Action::Load(b),
+                Action::Compute(combo_b),
+                Action::Drop(b),
+                Action::Load(combo_a),
+                Action::Compute(prod),
+                Action::Drop(combo_a),
+                Action::Drop(combo_b),
+                Action::Compute(out),
+                Action::Store(out),
+            ],
+        };
+        let stats = simulate(&g, &s, 3).unwrap();
+        assert_eq!(stats.loads, 3);
+        assert_eq!(stats.stores, 2);
+    }
+}

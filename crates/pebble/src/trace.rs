@@ -1,0 +1,175 @@
+//! Execution traces: time series of cache occupancy and cumulative I/O
+//! along a schedule, and working-set statistics of compute orders.
+//!
+//! The segment argument reasons about I/O *density* along the computation;
+//! traces make that density visible and are consumed by the experiment
+//! harness for plots and by tests as an independent accounting of the
+//! scheduler's I/O (trace totals must equal [`crate::stats::IoStats`]).
+
+use crate::schedule::{Action, Schedule};
+use mmio_cdag::{Cdag, VertexId};
+use serde::Serialize;
+
+/// One sampled point of an execution trace.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct TracePoint {
+    /// Number of compute actions executed so far.
+    pub computes: u64,
+    /// Cumulative loads.
+    pub loads: u64,
+    /// Cumulative stores.
+    pub stores: u64,
+    /// Cache occupancy after this point.
+    pub occupancy: usize,
+}
+
+/// Replays `schedule` and samples a trace every `stride` compute actions.
+///
+/// # Panics
+/// Panics if `stride == 0`.
+pub fn trace_schedule(g: &Cdag, schedule: &Schedule, stride: u64) -> Vec<TracePoint> {
+    assert!(stride > 0, "stride must be positive");
+    let mut cache = vec![false; g.n_vertices()];
+    let mut occupancy = 0usize;
+    let mut point = TracePoint {
+        computes: 0,
+        loads: 0,
+        stores: 0,
+        occupancy: 0,
+    };
+    let mut out = Vec::new();
+    for &action in &schedule.actions {
+        match action {
+            Action::Load(v) => {
+                point.loads += 1;
+                if !cache[v.idx()] {
+                    cache[v.idx()] = true;
+                    occupancy += 1;
+                }
+            }
+            Action::Store(_) => point.stores += 1,
+            Action::Drop(v) => {
+                if cache[v.idx()] {
+                    cache[v.idx()] = false;
+                    occupancy -= 1;
+                }
+            }
+            Action::Compute(v) => {
+                point.computes += 1;
+                if !cache[v.idx()] {
+                    cache[v.idx()] = true;
+                    occupancy += 1;
+                }
+                if point.computes.is_multiple_of(stride) {
+                    point.occupancy = occupancy;
+                    out.push(point);
+                }
+            }
+        }
+    }
+    point.occupancy = occupancy;
+    out.push(point);
+    out
+}
+
+/// The *working set* of a compute order at position `i`: values already
+/// produced (or inputs already touched) that are still needed at or after
+/// `i`. Its maximum over the order is the smallest cache size under which
+/// the order incurs only compulsory I/O.
+pub fn max_working_set(g: &Cdag, order: &[VertexId]) -> usize {
+    let n = g.n_vertices();
+    let mut pos = vec![u64::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.idx()] = i as u64;
+    }
+    // last_use[v] = last position where v is read.
+    let mut last_use = vec![0u64; n];
+    let mut first_use = vec![u64::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        for &p in g.preds(v) {
+            last_use[p.idx()] = last_use[p.idx()].max(i as u64);
+            first_use[p.idx()] = first_use[p.idx()].min(i as u64);
+        }
+    }
+    // Sweep: value v is live in [birth(v), last_use(v)] where birth is its
+    // compute position (or first use for inputs).
+    let mut delta = vec![0i64; order.len() + 2];
+    for v in g.vertices() {
+        let birth = if g.is_input(v) {
+            first_use[v.idx()]
+        } else {
+            pos[v.idx()]
+        };
+        if birth == u64::MAX {
+            continue; // never used
+        }
+        let death = last_use[v.idx()].max(birth);
+        delta[birth as usize] += 1;
+        delta[death as usize + 1] -= 1;
+    }
+    let mut live = 0i64;
+    let mut max_live = 0i64;
+    for d in delta {
+        live += d;
+        max_live = max_live.max(live);
+    }
+    max_live as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auto::AutoScheduler;
+    use crate::orders::{rank_order, recursive_order};
+    use crate::policy::Lru;
+    use crate::testutil::classical2_base;
+    use mmio_cdag::build::build_cdag;
+
+    #[test]
+    fn trace_totals_match_stats() {
+        let g = build_cdag(&classical2_base(), 2);
+        let order = recursive_order(&g);
+        let sched = AutoScheduler::new(&g, 12);
+        let (stats, schedule) = sched.run_recorded(&order, &mut Lru::new(g.n_vertices()));
+        let trace = trace_schedule(&g, &schedule, 10);
+        let last = trace.last().unwrap();
+        assert_eq!(last.loads, stats.loads);
+        assert_eq!(last.stores, stats.stores);
+        assert_eq!(last.computes, stats.computes);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_cache() {
+        let g = build_cdag(&classical2_base(), 2);
+        let order = recursive_order(&g);
+        let m = 10;
+        let sched = AutoScheduler::new(&g, m);
+        let (_, schedule) = sched.run_recorded(&order, &mut Lru::new(g.n_vertices()));
+        for point in trace_schedule(&g, &schedule, 1) {
+            assert!(point.occupancy <= m);
+        }
+    }
+
+    #[test]
+    fn recursive_working_set_smaller_than_rank_order() {
+        let g = build_cdag(&classical2_base(), 3);
+        let rec = max_working_set(&g, &recursive_order(&g));
+        let rank = max_working_set(&g, &rank_order(&g));
+        assert!(
+            rec < rank,
+            "recursive {rec} should beat rank-by-rank {rank}"
+        );
+    }
+
+    #[test]
+    fn working_set_suffices_for_compulsory_io() {
+        // With cache = max working set + slack, I/O is exactly compulsory:
+        // one load per touched input, one store per output.
+        let g = build_cdag(&classical2_base(), 2);
+        let order = recursive_order(&g);
+        let ws = max_working_set(&g, &order);
+        let stats = AutoScheduler::new(&g, ws + 1).run(&order, &mut Lru::new(g.n_vertices()));
+        assert_eq!(stats.loads, 2 * 16);
+        assert_eq!(stats.stores, 16);
+    }
+}
