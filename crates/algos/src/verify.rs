@@ -24,8 +24,8 @@ pub fn verify_bilinear_randomized<R: Rng>(
 ) -> bool {
     let b = enc_a.rows();
     for _ in 0..samples {
-        let a = Matrix::from_fn(m, k, |_, _| Rational::integer(rng.gen_range(-4..=4)));
-        let bm = Matrix::from_fn(k, n, |_, _| Rational::integer(rng.gen_range(-4..=4)));
+        let a = Matrix::from_fn(m, k, |_, _| Rational::integer(rng.gen_range(-4i64..=4)));
+        let bm = Matrix::from_fn(k, n, |_, _| Rational::integer(rng.gen_range(-4i64..=4)));
         let want = multiply_naive(&a, &bm);
         // Products of the encoded scalars.
         let mut prods = Vec::with_capacity(b);

@@ -1,0 +1,107 @@
+//! The diagnostic code registry.
+//!
+//! Codes are stable identifiers: tests and downstream tooling match on them,
+//! so a code is never reused for a different meaning. Families:
+//!
+//! - `MMIO-Axxx` — CDAG structure lints ([`crate::cdag`]);
+//! - `MMIO-Sxxx` — schedule legality ([`crate::schedule`]);
+//! - `MMIO-Rxxx` — routing certificates ([`crate::routing`]).
+
+/// Cycle detected: the vertex ordering admits no topological order.
+pub const CDAG_CYCLE: &str = "MMIO-A001";
+/// Edge does not increase the paper rank (pred rank ≥ succ rank).
+pub const CDAG_RANK_MISMATCH: &str = "MMIO-A002";
+/// Dangling vertex: a non-output whose value is never used.
+pub const CDAG_DANGLING: &str = "MMIO-A003";
+/// Vertex unreachable from every input.
+pub const CDAG_UNREACHABLE: &str = "MMIO-A004";
+/// Copy vertex violating the meta-vertex rules (≠ 1 predecessor, wrong
+/// parent, or coefficient ≠ 1).
+pub const CDAG_COPY_RULE: &str = "MMIO-A005";
+/// Fact 1 violation: the middle `2(k+1)` ranks do not decompose into
+/// `b^{r-k}` vertex-disjoint copies of `G_k`.
+pub const CDAG_FACT1: &str = "MMIO-A006";
+/// Single-use assumption violated: a nontrivial linear combination feeds
+/// more than one multiplication.
+pub const CDAG_MULTI_USE: &str = "MMIO-A007";
+/// The base graph does not compute matrix multiplication (tensor identity
+/// violated).
+pub const CDAG_INCORRECT: &str = "MMIO-A008";
+/// Lemma 1 hypothesis fails: one side's encoding has only trivial rows.
+pub const CDAG_LEMMA1: &str = "MMIO-A009";
+
+/// Compute with an operand not resident in cache.
+pub const SCHED_MISSING_OPERAND: &str = "MMIO-S001";
+/// Cache occupancy would exceed `M`.
+pub const SCHED_CAPACITY: &str = "MMIO-S002";
+/// Schedule ended with an output never stored to slow memory.
+pub const SCHED_OUTPUT_NOT_STORED: &str = "MMIO-S003";
+/// Illegal load: value not in slow memory, or already resident.
+pub const SCHED_BAD_LOAD: &str = "MMIO-S004";
+/// Illegal compute: input vertex, or recomputation.
+pub const SCHED_BAD_COMPUTE: &str = "MMIO-S005";
+/// Store or drop of a value not resident in cache.
+pub const SCHED_NOT_RESIDENT: &str = "MMIO-S006";
+/// Schedule ended with a vertex never computed.
+pub const SCHED_NOT_COMPUTED: &str = "MMIO-S007";
+
+/// A vertex lies on more paths than the certificate's claimed bound.
+pub const ROUTE_VERTEX_OVERLOAD: &str = "MMIO-R001";
+/// A meta-vertex is hit by more paths than the claimed bound.
+pub const ROUTE_META_OVERLOAD: &str = "MMIO-R002";
+/// A certificate path traverses a non-edge (or is empty).
+pub const ROUTE_BAD_PATH: &str = "MMIO-R003";
+/// The certificate contains the wrong number of paths.
+pub const ROUTE_PATH_COUNT: &str = "MMIO-R004";
+
+/// `(code, one-line description)` for every registered code, in order —
+/// the source of the documentation table in `DESIGN.md`.
+pub const TABLE: &[(&str, &str)] = &[
+    (CDAG_CYCLE, "cycle: no topological order exists"),
+    (CDAG_RANK_MISMATCH, "edge does not increase paper rank"),
+    (CDAG_DANGLING, "non-output vertex is never used"),
+    (CDAG_UNREACHABLE, "vertex unreachable from every input"),
+    (CDAG_COPY_RULE, "copy vertex violates meta-vertex rules"),
+    (CDAG_FACT1, "Fact 1 decomposition check failed"),
+    (CDAG_MULTI_USE, "single-use assumption violated"),
+    (CDAG_INCORRECT, "tensor identity violated"),
+    (
+        CDAG_LEMMA1,
+        "Lemma 1 hypothesis fails (all-trivial encoding)",
+    ),
+    (SCHED_MISSING_OPERAND, "compute with non-resident operand"),
+    (SCHED_CAPACITY, "cache occupancy exceeds M"),
+    (SCHED_OUTPUT_NOT_STORED, "output never stored"),
+    (SCHED_BAD_LOAD, "illegal load"),
+    (SCHED_BAD_COMPUTE, "illegal compute"),
+    (SCHED_NOT_RESIDENT, "store/drop of non-resident value"),
+    (SCHED_NOT_COMPUTED, "vertex never computed"),
+    (
+        ROUTE_VERTEX_OVERLOAD,
+        "vertex hit count exceeds claimed bound",
+    ),
+    (
+        ROUTE_META_OVERLOAD,
+        "meta-vertex hit count exceeds claimed bound",
+    ),
+    (ROUTE_BAD_PATH, "path traverses a non-edge or is empty"),
+    (ROUTE_PATH_COUNT, "wrong number of paths in certificate"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::TABLE;
+
+    #[test]
+    fn codes_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for (code, desc) in TABLE {
+            assert!(seen.insert(code), "duplicate code {code}");
+            assert!(
+                code.starts_with("MMIO-") && code.len() == 9,
+                "malformed {code}"
+            );
+            assert!(!desc.is_empty());
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Structured diagnostics: the common currency of every analysis pass.
+//!
+//! A [`Diagnostic`] pairs a stable machine-readable code (`MMIO-Axxx` for
+//! CDAG lints, `MMIO-Sxxx` for schedule legality, `MMIO-Rxxx` for routing
+//! certificates) with a severity, a [`Span`] locating the finding, a
+//! human-readable message, and an optional suggestion. A [`Report`] collects
+//! diagnostics across passes and serializes to JSON for tooling.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational note; never fails an analysis.
+    Info,
+    /// Suspicious but legal structure (e.g. a dangling vertex).
+    Warning,
+    /// A rule violation: the artifact is invalid.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in JSON and human output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in the analyzed artifact a diagnostic points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Span {
+    /// A CDAG vertex (dense id).
+    Vertex(u32),
+    /// A schedule step (0-based action index).
+    Step(usize),
+    /// A routing path (0-based index into the certificate's path list).
+    Path(usize),
+    /// A base-graph matrix row (`matrix` is `"enc_a"`, `"enc_b"`, or
+    /// `"dec"`).
+    Row {
+        /// Which coefficient matrix.
+        matrix: &'static str,
+        /// Row index within it.
+        row: usize,
+    },
+    /// The artifact as a whole.
+    Global,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Vertex(v) => write!(f, "v{v}"),
+            Span::Step(s) => write!(f, "step {s}"),
+            Span::Path(p) => write!(f, "path {p}"),
+            Span::Row { matrix, row } => write!(f, "{matrix}[{row}]"),
+            Span::Global => f.write_str("global"),
+        }
+    }
+}
+
+impl Serialize for Span {
+    fn to_value(&self) -> Value {
+        let kv = |k: &str, name: &str, idx: u64| {
+            Value::Object(vec![
+                ("kind".to_string(), Value::Str(k.to_string())),
+                (name.to_string(), Value::UInt(idx)),
+            ])
+        };
+        match *self {
+            Span::Vertex(v) => kv("vertex", "id", u64::from(v)),
+            Span::Step(s) => kv("step", "index", s as u64),
+            Span::Path(p) => kv("path", "index", p as u64),
+            Span::Row { matrix, row } => Value::Object(vec![
+                ("kind".to_string(), Value::Str("row".to_string())),
+                ("matrix".to_string(), Value::Str(matrix.to_string())),
+                ("row".to_string(), Value::UInt(row as u64)),
+            ]),
+            Span::Global => {
+                Value::Object(vec![("kind".to_string(), Value::Str("global".to_string()))])
+            }
+        }
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine code, e.g. `"MMIO-A001"`. See [`crate::codes`].
+    pub code: &'static str,
+    /// Severity of the finding.
+    pub severity: Severity,
+    /// Location in the analyzed artifact.
+    pub span: Span,
+    /// Human-readable description of what was found.
+    pub message: String,
+    /// Optional remediation hint.
+    pub suggestion: Option<String>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] at {}: {}",
+            self.severity, self.code, self.span, self.message
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " (hint: {s})")?;
+        }
+        Ok(())
+    }
+}
+
+impl Serialize for Diagnostic {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("code".to_string(), Value::Str(self.code.to_string())),
+            (
+                "severity".to_string(),
+                Value::Str(self.severity.as_str().to_string()),
+            ),
+            ("span".to_string(), self.span.to_value()),
+            ("message".to_string(), Value::Str(self.message.clone())),
+            (
+                "suggestion".to_string(),
+                match &self.suggestion {
+                    Some(s) => Value::Str(s.clone()),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+}
+
+/// A collection of diagnostics from one or more passes.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All findings, in emission order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Appends a diagnostic.
+    pub fn push(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        span: Span,
+        message: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            span,
+            message: message.into(),
+            suggestion: None,
+        });
+    }
+
+    /// Appends a diagnostic with a remediation hint.
+    pub fn push_with_hint(
+        &mut self,
+        code: &'static str,
+        severity: Severity,
+        span: Span,
+        message: impl Into<String>,
+        suggestion: impl Into<String>,
+    ) {
+        self.diagnostics.push(Diagnostic {
+            code,
+            severity,
+            span,
+            message: message.into(),
+            suggestion: Some(suggestion.into()),
+        });
+    }
+
+    /// Findings at [`Severity::Error`].
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.errors().next().is_some()
+    }
+
+    /// Number of errors.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// Number of warnings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// The distinct codes present, sorted.
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = self.diagnostics.iter().map(|d| d.code).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Whether a specific code was emitted.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// Merges another report's findings into this one.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+}
+
+impl Serialize for Report {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("errors".to_string(), Value::UInt(self.error_count() as u64)),
+            (
+                "warnings".to_string(),
+                Value::UInt(self.warning_count() as u64),
+            ),
+            ("diagnostics".to_string(), self.diagnostics.to_value()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_counts_and_codes() {
+        let mut r = Report::new();
+        r.push("MMIO-A001", Severity::Error, Span::Vertex(3), "cycle");
+        r.push("MMIO-A003", Severity::Warning, Span::Global, "dangling");
+        r.push("MMIO-A001", Severity::Error, Span::Vertex(4), "cycle");
+        assert_eq!(r.error_count(), 2);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        assert_eq!(r.codes(), vec!["MMIO-A001", "MMIO-A003"]);
+        assert!(r.has_code("MMIO-A003"));
+        assert!(!r.has_code("MMIO-S001"));
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut r = Report::new();
+        r.push_with_hint(
+            "MMIO-S002",
+            Severity::Error,
+            Span::Step(7),
+            "cache overflow",
+            "raise M",
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"MMIO-S002\""));
+        assert!(json.contains("\"step\""));
+        assert!(json.contains("\"raise M\""));
+        let v: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v.get("errors"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = Diagnostic {
+            code: "MMIO-R001",
+            severity: Severity::Error,
+            span: Span::Path(2),
+            message: "hit count 9 exceeds bound 6".into(),
+            suggestion: None,
+        };
+        let s = d.to_string();
+        assert!(s.contains("MMIO-R001"));
+        assert!(s.contains("path 2"));
+    }
+}

@@ -1,0 +1,127 @@
+//! [`GraphFacts`]: the flattened structural view the CDAG lints run on.
+//!
+//! The lints deliberately do not consume [`mmio_cdag::Cdag`] directly:
+//! a real `Cdag` is correct by construction (dense ids are a topological
+//! order), so defects like cycles or rank inversions could never be
+//! exercised. Extracting the facts into a plain adjacency structure lets
+//! golden tests seed every defect class while production use extracts the
+//! facts from a built graph.
+
+use mmio_cdag::base::Side;
+use mmio_cdag::{Cdag, Layer};
+
+/// Flattened structural facts about a (claimed) CDAG.
+#[derive(Clone, Debug, Default)]
+pub struct GraphFacts {
+    /// Predecessor lists per vertex (dense ids).
+    pub preds: Vec<Vec<u32>>,
+    /// Successor lists per vertex.
+    pub succs: Vec<Vec<u32>>,
+    /// Paper rank of each vertex (`0..=2r+1`).
+    pub rank: Vec<u32>,
+    /// Whether each vertex is an input of the whole CDAG.
+    pub is_input: Vec<bool>,
+    /// Whether each vertex is an output of the whole CDAG.
+    pub is_output: Vec<bool>,
+    /// For copy vertices, the vertex they are declared to copy.
+    pub copy_parent: Vec<Option<u32>>,
+    /// For copy vertices, whether the copying edge carries coefficient 1.
+    pub copy_coeff_one: Vec<bool>,
+}
+
+impl GraphFacts {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Extracts the facts of a built CDAG.
+    ///
+    /// Copy vertices are identified from the definition (paper Section 3):
+    /// a vertex is a copy when the base-graph row generating it is trivial
+    /// (one nonzero coefficient, equal to 1); its parent is its single
+    /// predecessor. This re-derivation is intentionally independent of
+    /// [`mmio_cdag::MetaVertices`], which the lints are auditing.
+    pub fn from_cdag(g: &Cdag) -> GraphFacts {
+        let base = g.base();
+        let (a, b) = (base.a(), base.b());
+        let triv_a: Vec<bool> = (0..b).map(|m| base.row_is_trivial(Side::A, m)).collect();
+        let triv_b: Vec<bool> = (0..b).map(|m| base.row_is_trivial(Side::B, m)).collect();
+        let triv_d: Vec<bool> = (0..a).map(|y| base.dec_row_is_trivial(y)).collect();
+
+        let n = g.n_vertices();
+        let mut facts = GraphFacts {
+            preds: Vec::with_capacity(n),
+            succs: Vec::with_capacity(n),
+            rank: Vec::with_capacity(n),
+            is_input: Vec::with_capacity(n),
+            is_output: Vec::with_capacity(n),
+            copy_parent: vec![None; n],
+            copy_coeff_one: vec![false; n],
+        };
+        for v in g.vertices() {
+            facts.preds.push(g.preds(v).iter().map(|p| p.0).collect());
+            facts.succs.push(g.succs(v).iter().map(|s| s.0).collect());
+            facts.rank.push(g.rank(v));
+            facts.is_input.push(g.is_input(v));
+            facts.is_output.push(g.is_output(v));
+
+            let vr = g.vref(v);
+            let is_copy = match vr.layer {
+                Layer::EncA | Layer::EncB if vr.level > 0 => {
+                    let tau = (vr.mul % b as u64) as usize;
+                    match vr.layer {
+                        Layer::EncA => triv_a[tau],
+                        _ => triv_b[tau],
+                    }
+                }
+                Layer::Dec if vr.level > 0 => {
+                    let upsilon = (vr.entry / mmio_cdag::index::pow(a, vr.level - 1)) as usize;
+                    triv_d[upsilon]
+                }
+                _ => false,
+            };
+            if is_copy {
+                facts.copy_parent[v.idx()] = g.preds(v).first().map(|p| p.0);
+                facts.copy_coeff_one[v.idx()] =
+                    g.pred_coeffs(v).first().is_some_and(|c| c.is_one());
+            }
+        }
+        facts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_algos::strassen::strassen;
+    use mmio_cdag::build::build_cdag;
+
+    #[test]
+    fn extraction_shape() {
+        let g = build_cdag(&strassen(), 2);
+        let f = GraphFacts::from_cdag(&g);
+        assert_eq!(f.n(), g.n_vertices());
+        assert_eq!(f.is_input.iter().filter(|&&x| x).count(), 2 * 16);
+        assert_eq!(f.is_output.iter().filter(|&&x| x).count(), 16);
+        // Edge lists agree in both directions.
+        let edges: usize = f.preds.iter().map(Vec::len).sum();
+        let back: usize = f.succs.iter().map(Vec::len).sum();
+        assert_eq!(edges, back);
+        assert_eq!(edges, g.n_edges());
+    }
+
+    #[test]
+    fn copies_have_parents_with_unit_coefficient() {
+        let g = build_cdag(&strassen(), 2);
+        let f = GraphFacts::from_cdag(&g);
+        let copies = f.copy_parent.iter().filter(|p| p.is_some()).count();
+        assert!(copies > 0, "Strassen copies inputs into M2..M7");
+        for v in 0..f.n() {
+            if let Some(p) = f.copy_parent[v] {
+                assert_eq!(f.preds[v], vec![p]);
+                assert!(f.copy_coeff_one[v]);
+            }
+        }
+    }
+}

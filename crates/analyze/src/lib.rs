@@ -1,0 +1,46 @@
+//! # mmio-analyze
+//!
+//! Static analysis and certification for the workspace's three artifact
+//! kinds, reporting structured [`Diagnostic`]s with stable codes:
+//!
+//! | family | pass | module |
+//! |--------|------|--------|
+//! | `MMIO-Axxx` | CDAG structure lints (acyclicity witness, rank consistency, dangling/unreachable, copy rules, Fact 1, single-use, tensor identity) | [`cdag`] |
+//! | `MMIO-Sxxx` | schedule legality (operand residency, cache occupancy ≤ M, terminal conditions) | [`schedule`] |
+//! | `MMIO-Rxxx` | routing certificate auditing (path validity, per-vertex and per-meta hit bounds) | [`routing`] |
+//!
+//! The passes are *re-verifiers*: they share no code with the constructors
+//! they audit (`mmio_cdag::MetaVertices`, `mmio_pebble::sim`, the
+//! `mmio-core` routing builders), so agreement between constructor and
+//! analyzer is genuine double-entry bookkeeping. Where a defect cannot occur
+//! in a correctly built artifact (a `Cdag` is topologically ordered by
+//! construction), the pass runs on an extracted [`facts::GraphFacts`] view
+//! that tests can fabricate — see the code table in `DESIGN.md` and the
+//! golden tests in `tests/golden.rs`.
+//!
+//! ```
+//! use mmio_analyze::{analyze_base_at, codes};
+//! use mmio_cdag::BaseGraph;
+//! use mmio_matrix::{Matrix, Rational};
+//!
+//! let one = Matrix::from_vec(1, 1, vec![Rational::ONE]);
+//! let base = BaseGraph::new("unit", 1, one.clone(), one.clone(), one);
+//! let report = analyze_base_at(&base, 2);
+//! assert!(!report.has_errors());
+//! // The 1×1 identity algorithm takes no linear combinations: Lemma 1 does
+//! // not apply, which the analyzer notes as a warning.
+//! assert!(report.has_code(codes::CDAG_LEMMA1));
+//! ```
+
+pub mod cdag;
+pub mod codes;
+pub mod diag;
+pub mod facts;
+pub mod routing;
+pub mod schedule;
+
+pub use cdag::{analyze_base_at, audit_fact1, lint_base, lint_facts, CdagAudit};
+pub use diag::{Diagnostic, Report, Severity, Span};
+pub use facts::GraphFacts;
+pub use routing::{audit_routing, RoutingAudit, RoutingCertificate};
+pub use schedule::{audit_schedule, ScheduleAudit};

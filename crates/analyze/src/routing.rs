@@ -1,0 +1,232 @@
+//! Routing certificate auditing (`MMIO-Rxxx`).
+//!
+//! A [`RoutingCertificate`] is the explicit form of a claimed `m`-routing
+//! (Definition 2): the full list of paths plus the claimed bound `m` and the
+//! expected path count `|X|·|Y|`. [`audit_routing`] re-verifies the claim
+//! from scratch: every path must traverse real edges, and no vertex — nor
+//! meta-vertex, under the auditor's *own* copy-grouping (a union-find built
+//! from edge coefficients, independent of [`mmio_cdag::MetaVertices`] and of
+//! the `mmio-core` routing constructors) — may be hit more than `m` times.
+
+use crate::codes;
+use crate::diag::{Report, Severity, Span};
+use mmio_cdag::{Cdag, VertexId};
+
+/// An explicit routing claim to be audited.
+#[derive(Clone, Debug)]
+pub struct RoutingCertificate {
+    /// The claimed bound `m`: no (meta-)vertex on more than `m` paths.
+    pub claimed_bound: u64,
+    /// The expected number of paths (`|X|·|Y|`), if the caller knows it.
+    pub expected_paths: Option<u64>,
+    /// The paths themselves, each a vertex sequence.
+    pub paths: Vec<Vec<VertexId>>,
+}
+
+/// Measured quantities from a certificate audit.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoutingAudit {
+    /// Number of paths in the certificate.
+    pub paths: u64,
+    /// Maximum per-vertex hit count (with multiplicity).
+    pub max_vertex_hits: u64,
+    /// Maximum per-meta-vertex hit count (once per touching path).
+    pub max_meta_hits: u64,
+}
+
+/// Union-find over dense vertex ids: the auditor's independent copy
+/// grouping. A vertex joins its parent's group when it has exactly one
+/// predecessor and the connecting coefficient is 1 — precisely the copies of
+/// paper Section 3, re-derived from the edge data alone.
+struct CopyGroups {
+    parent: Vec<u32>,
+}
+
+impl CopyGroups {
+    fn compute(g: &Cdag) -> CopyGroups {
+        let mut uf = CopyGroups {
+            parent: (0..g.n_vertices() as u32).collect(),
+        };
+        for v in g.vertices() {
+            let preds = g.preds(v);
+            if preds.len() == 1 && g.pred_coeffs(v)[0].is_one() {
+                uf.union(v.0, preds[0].0);
+            }
+        }
+        uf
+    }
+
+    fn find(&mut self, v: u32) -> u32 {
+        let mut root = v;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = v;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Audits a routing certificate against the graph, appending `MMIO-Rxxx`
+/// diagnostics and returning the measured hit statistics.
+pub fn audit_routing(g: &Cdag, cert: &RoutingCertificate, report: &mut Report) -> RoutingAudit {
+    let n = g.n_vertices();
+    let mut groups = CopyGroups::compute(g);
+    let mut vertex_hits = vec![0u64; n];
+    let mut meta_hits = vec![0u64; n];
+    let mut audit = RoutingAudit {
+        paths: cert.paths.len() as u64,
+        ..RoutingAudit::default()
+    };
+
+    if let Some(expected) = cert.expected_paths {
+        if expected != audit.paths {
+            report.push(
+                codes::ROUTE_PATH_COUNT,
+                Severity::Error,
+                Span::Global,
+                format!(
+                    "certificate has {} paths; an in-out routing requires |X|·|Y| = {expected}",
+                    audit.paths
+                ),
+            );
+        }
+    }
+
+    let mut touched: Vec<u32> = Vec::new();
+    for (i, path) in cert.paths.iter().enumerate() {
+        if path.is_empty() {
+            report.push(
+                codes::ROUTE_BAD_PATH,
+                Severity::Error,
+                Span::Path(i),
+                "empty path",
+            );
+            continue;
+        }
+        // Paths are undirected walks: each hop must be an edge in either
+        // direction.
+        if let Some(w) = path
+            .windows(2)
+            .find(|w| !(g.preds(w[1]).contains(&w[0]) || g.succs(w[1]).contains(&w[0])))
+        {
+            report.push(
+                codes::ROUTE_BAD_PATH,
+                Severity::Error,
+                Span::Path(i),
+                format!("{:?}→{:?} is not an edge of the CDAG", w[0], w[1]),
+            );
+            continue;
+        }
+        touched.clear();
+        for &v in path {
+            vertex_hits[v.idx()] += 1;
+            touched.push(groups.find(v.0));
+        }
+        // A path hits each meta-vertex at most once (the paper's counting).
+        touched.sort_unstable();
+        touched.dedup();
+        for &root in &touched {
+            meta_hits[root as usize] += 1;
+        }
+    }
+
+    audit.max_vertex_hits = vertex_hits.iter().copied().max().unwrap_or(0);
+    audit.max_meta_hits = meta_hits.iter().copied().max().unwrap_or(0);
+
+    if audit.max_vertex_hits > cert.claimed_bound {
+        let worst = (0..n).max_by_key(|&v| vertex_hits[v]).unwrap_or(0);
+        report.push(
+            codes::ROUTE_VERTEX_OVERLOAD,
+            Severity::Error,
+            Span::Vertex(worst as u32),
+            format!(
+                "vertex lies on {} paths, exceeding the claimed bound {}",
+                audit.max_vertex_hits, cert.claimed_bound
+            ),
+        );
+    }
+    if audit.max_meta_hits > cert.claimed_bound {
+        let worst = (0..n).max_by_key(|&v| meta_hits[v]).unwrap_or(0);
+        report.push(
+            codes::ROUTE_META_OVERLOAD,
+            Severity::Error,
+            Span::Vertex(worst as u32),
+            format!(
+                "meta-vertex rooted at v{worst} is hit by {} paths, exceeding the \
+                 claimed bound {}",
+                audit.max_meta_hits, cert.claimed_bound
+            ),
+        );
+    }
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_algos::strassen::strassen;
+    use mmio_cdag::build::build_cdag;
+
+    #[test]
+    fn single_edge_path_is_clean() {
+        let g = build_cdag(&strassen(), 1);
+        let input = g.inputs().next().unwrap();
+        let combo = g.succs(input)[0];
+        let cert = RoutingCertificate {
+            claimed_bound: 2,
+            expected_paths: Some(2),
+            paths: vec![vec![input, combo], vec![combo, input]],
+        };
+        let mut report = Report::new();
+        let audit = audit_routing(&g, &cert, &mut report);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
+        assert_eq!(audit.max_vertex_hits, 2);
+    }
+
+    #[test]
+    fn non_edge_rejected() {
+        let g = build_cdag(&strassen(), 1);
+        let input = g.inputs().next().unwrap();
+        let output = g.outputs().next().unwrap();
+        let cert = RoutingCertificate {
+            claimed_bound: 10,
+            expected_paths: None,
+            paths: vec![vec![input, output]],
+        };
+        let mut report = Report::new();
+        audit_routing(&g, &cert, &mut report);
+        assert!(report.has_code(codes::ROUTE_BAD_PATH));
+    }
+
+    #[test]
+    fn copy_groups_match_meta_vertices() {
+        // The auditor's independent grouping must agree with the library's
+        // MetaVertices on real graphs.
+        use mmio_cdag::MetaVertices;
+        let g = build_cdag(&strassen(), 2);
+        let meta = MetaVertices::compute(&g);
+        let mut groups = CopyGroups::compute(&g);
+        for v in g.vertices() {
+            for w in g.vertices() {
+                let same_lib = meta.meta_of(v) == meta.meta_of(w);
+                let same_aud = groups.find(v.0) == groups.find(w.0);
+                if same_lib != same_aud {
+                    panic!("grouping disagrees at {v:?},{w:?}: lib={same_lib} aud={same_aud}");
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,8 @@ use mmio_pebble::AutoScheduler;
 fn main() {
     let strassen_base = strassen();
     let classical_base = classical(2);
+    mmio_bench::preflight(&strassen_base);
+    mmio_bench::preflight(&classical_base);
     let lb = LowerBound::new(&strassen_base);
     let mut rows = Vec::new();
 

@@ -14,6 +14,7 @@ use rand::SeedableRng;
 
 fn main() {
     let base = strassen();
+    mmio_bench::preflight(&base);
     let g = build_cdag(&base, 5);
     let mut rng = StdRng::seed_from_u64(11);
     let orders = [

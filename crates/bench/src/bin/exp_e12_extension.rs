@@ -22,6 +22,9 @@ use mmio_pebble::orders::recursive_order;
 
 fn main() {
     let base = with_duplicated_combination(&strassen());
+    // The single-use violation is this experiment's subject; the pre-flight
+    // analyzer must flag it (MMIO-A007) and nothing else.
+    mmio_bench::preflight_expecting(&base, &[mmio_analyze::codes::CDAG_MULTI_USE]);
     assert!(!base.single_use_assumption_holds());
     println!(
         "E12: base graph '{}' violates the single-use assumption (b = {})\n",

@@ -16,6 +16,7 @@ use mmio_pebble::policy::Belady;
 
 fn main() {
     let base = strassen();
+    mmio_bench::preflight(&base);
     let lb = LowerBound::new(&base);
     let g = build_cdag(&base, 5);
     let order = recursive_order(&g);

@@ -34,6 +34,7 @@ fn main() {
         winograd(),
         with_dummy_product(&strassen()),
     ] {
+        mmio_bench::preflight(&base);
         let g1 = build_cdag(&base, 1);
         // Loomis–Whitney: needs monomial products — try it, catch refusal.
         let lw = {

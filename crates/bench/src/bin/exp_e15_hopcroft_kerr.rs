@@ -15,6 +15,13 @@ fn main() {
     let mut rows = Vec::new();
     println!("E15: the Hopcroft–Kerr family\n");
 
+    // Pre-flight the square registry bases used below. The ⟨12,12,12;1331⟩
+    // square itself is exempt: its single-use violations (MMIO-A007) are part
+    // of what this experiment studies, and the O(b²) duplicate-row scan is
+    // slow at b = 1331.
+    mmio_bench::preflight(&mmio_algos::strassen::strassen());
+    mmio_bench::preflight(&mmio_algos::laderman::laderman());
+
     // Rectangular ranks.
     let hk = rect_2x2x3();
     let cl = classical_rect(2, 2, 3);

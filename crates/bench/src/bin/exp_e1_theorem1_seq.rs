@@ -16,6 +16,7 @@ use mmio_pebble::AutoScheduler;
 
 fn main() {
     let base = strassen();
+    mmio_bench::preflight(&base);
     let lb = LowerBound::new(&base);
     let mut rows = Vec::new();
     println!("E1: sequential I/O vs Theorem 1 bound (Strassen, recursive schedule, Belady)\n");

@@ -18,6 +18,7 @@ use mmio_parallel::caps::simulate;
 
 fn main() {
     let base = strassen();
+    mmio_bench::preflight(&base);
     let lb = LowerBound::new(&base);
     let n = 1u64 << 10;
     let mut rows = Vec::new();

@@ -18,6 +18,7 @@ fn main() {
         "base", "k", "paths", "bound", "max hits", "slack"
     );
     for (base, max_k) in [(strassen(), 5u32), (winograd(), 4), (laderman(), 3)] {
+        mmio_bench::preflight(&base);
         for k in 1..=max_k {
             let g = build_cdag(&base, k);
             let routing = DecodingRouting::new(&g).expect("connected decoding graph");

@@ -19,6 +19,7 @@ fn main() {
         "base", "k", "paths", "bound", "max vert", "max meta", "slack"
     );
     for base in theorem1_base_graphs() {
+        mmio_bench::preflight(&base);
         let max_k = if base.a() >= 16 { 1 } else { 3 };
         for k in 1..=max_k {
             let g = build_cdag(&base, k);

@@ -25,6 +25,7 @@ fn main() {
         "base", "k", "deps", "bound", "hall max", "naive max"
     );
     for (base, max_k) in [(strassen(), 4u32), (winograd(), 3), (laderman(), 2)] {
+        mmio_bench::preflight(&base);
         for k in 1..=max_k {
             let g = build_cdag(&base, k);
             let hall = ChainRouter::new(&g).expect("Hall matching exists");

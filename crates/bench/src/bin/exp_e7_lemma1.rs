@@ -27,6 +27,7 @@ fn main() {
         (winograd(), 4, vec![1, 2]),
         (classical(2), 4, vec![1, 2]),
     ] {
+        mmio_bench::preflight(&base);
         let g = build_cdag(&base, r);
         let meta = MetaVertices::compute(&g);
         for &k in &ks {

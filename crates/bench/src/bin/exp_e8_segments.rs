@@ -14,6 +14,7 @@ use mmio_pebble::AutoScheduler;
 
 fn main() {
     let base = strassen();
+    mmio_bench::preflight(&base);
     let g = build_cdag(&base, 5);
     let mut rows = Vec::new();
 

@@ -22,6 +22,7 @@ fn main() {
         "base", "side", "i", "worst |D|/|N(D)|", "n₀"
     );
     for base in [strassen(), winograd(), laderman()] {
+        mmio_bench::preflight(&base);
         for side in [Side::A, Side::B] {
             for i in 0..base.n0() {
                 let (d, n) = verify_hall_condition_slice(&base, side, i);

@@ -41,6 +41,7 @@ fn save(name: &str, dot: &str) {
 fn main() {
     // Figure 1.
     let s = strassen();
+    mmio_bench::preflight(&s);
     let g1 = build_cdag(&s, 1);
     assert_eq!(g1.inputs().count(), 8);
     assert_eq!(g1.products().count(), 7);

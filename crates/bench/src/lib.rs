@@ -11,6 +11,37 @@ use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 
+/// Pre-flight static analysis gate for experiment binaries: runs the
+/// `mmio-analyze` CDAG passes on `base` at depth 1 and panics on any error,
+/// so a malformed algorithm is rejected before minutes of measurement.
+/// Depth 1 suffices — the base-graph lints (tensor identity, single-use)
+/// are depth-independent, and structural defects replicate to every depth.
+pub fn preflight(base: &mmio_cdag::BaseGraph) {
+    preflight_expecting(base, &[]);
+}
+
+/// [`preflight`] for experiments that *study* a defect: every reported
+/// error must carry one of the `expected` codes, and every expected code
+/// must actually fire. E12, for instance, measures a base graph that
+/// deliberately violates the single-use assumption (`MMIO-A007`).
+pub fn preflight_expecting(base: &mmio_cdag::BaseGraph, expected: &[&str]) {
+    let report = mmio_analyze::analyze_base_at(base, 1);
+    for d in report.errors() {
+        assert!(
+            expected.contains(&d.code),
+            "pre-flight static analysis failed for '{}': {d}",
+            base.name()
+        );
+    }
+    for code in expected {
+        assert!(
+            report.has_code(code),
+            "pre-flight expected '{}' to trigger {code}, but it did not",
+            base.name()
+        );
+    }
+}
+
 /// Where experiment records are written (workspace-relative `results/`).
 pub fn results_dir() -> PathBuf {
     let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));

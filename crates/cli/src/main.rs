@@ -9,6 +9,7 @@
 //! mmio certify <algo> <r> <M>       machine-checked lower-bound certificate
 //! mmio routing <algo> <k>           construct + verify the 6a^k-routing
 //! mmio report <algo> <r> <M>        full JSON analysis report
+//! mmio analyze <algo|all> [r] [--json]   static analysis & certification
 //! ```
 //!
 //! `<algo>` is a built-in name (`mmio list`) or a path to a JSON base-graph
@@ -37,7 +38,8 @@ fn usage() -> ExitCode {
          simulate <algo> <r> <M>\n  \
          certify  <algo> <r> <M>\n  \
          routing  <algo> <k>\n  \
-         report   <algo> <r> <M>"
+         report   <algo> <r> <M>\n  \
+         analyze  <algo|all> [r] [--json]"
     );
     ExitCode::FAILURE
 }
@@ -61,7 +63,92 @@ fn parse<T: std::str::FromStr>(arg: Option<&String>, what: &str) -> Result<T, St
         .map_err(|_| format!("invalid {what}"))
 }
 
-fn run() -> Result<(), String> {
+/// One target of `mmio analyze`: an algorithm analyzed at recursion depth
+/// `r`, with the schedule and routing audits run at (possibly capped)
+/// depths chosen to keep path enumeration tractable.
+fn analyze_target(base: &BaseGraph, r: u32) -> (mmio_analyze::Report, serde_json::Value) {
+    use mmio_core::deps::{unpack_entry, DepSide};
+
+    let mut report = mmio_analyze::analyze_base_at(base, r);
+
+    // Schedule legality: audit an auto-generated recursive schedule.
+    let sched_r = if base.b() > 30 { r.min(2) } else { r };
+    let g = build_cdag(base, sched_r);
+    let m = (3 * base.a()).max(8);
+    let order = recursive_order(&g);
+    let (_, sched) = AutoScheduler::new(&g, m).run_recorded(&order, &mut Belady);
+    let audit = mmio_analyze::audit_schedule(&g, &sched, m, &mut report);
+
+    // Routing certificate: enumerate the Theorem 2 paths explicitly and
+    // re-verify them. Path count is 2a^{2k}, so cap k for wide encoders.
+    let routing_k = r.min(if base.a() >= 16 { 1 } else { 2 });
+    let gk = build_cdag(base, routing_k);
+    let routing_audit = match InOutRouting::new(&gk) {
+        None => {
+            report.push(
+                "MMIO-R003",
+                mmio_analyze::Severity::Error,
+                mmio_analyze::Span::Global,
+                "no n₀-capacity Hall matching: the Routing Theorem's hypotheses fail",
+            );
+            None
+        }
+        Some(routing) => {
+            let (n0, k) = (base.n0(), routing_k);
+            let ak = mmio_cdag::index::pow(base.a(), k);
+            let mut paths = Vec::with_capacity((2 * ak * ak) as usize);
+            for side in [DepSide::A, DepSide::B] {
+                for in_e in 0..ak {
+                    let (ir, ic) = unpack_entry(in_e, n0, k);
+                    for out_e in 0..ak {
+                        let (or_, oc) = unpack_entry(out_e, n0, k);
+                        paths.push(routing.path(side, ir, ic, or_, oc));
+                    }
+                }
+            }
+            let cert = mmio_analyze::RoutingCertificate {
+                claimed_bound: routing.theorem2_bound(),
+                expected_paths: Some(2 * ak * ak),
+                paths,
+            };
+            Some((
+                mmio_analyze::audit_routing(&gk, &cert, &mut report),
+                routing.theorem2_bound(),
+            ))
+        }
+    };
+
+    let mut summary = vec![
+        (
+            "algorithm".to_string(),
+            serde::Value::Str(base.name().to_string()),
+        ),
+        ("r".to_string(), serde::Value::Int(i64::from(r))),
+        (
+            "schedule_io".to_string(),
+            serde::Value::Int(audit.io() as i64),
+        ),
+        (
+            "schedule_peak_occupancy".to_string(),
+            serde::Value::Int(audit.peak_occupancy as i64),
+        ),
+    ];
+    if let Some((ra, bound)) = routing_audit {
+        summary.push((
+            "routing_paths".to_string(),
+            serde::Value::Int(ra.paths as i64),
+        ));
+        summary.push((
+            "routing_max_hits".to_string(),
+            serde::Value::Int(ra.max_vertex_hits.max(ra.max_meta_hits) as i64),
+        ));
+        summary.push(("routing_bound".to_string(), serde::Value::Int(bound as i64)));
+    }
+    summary.push(("report".to_string(), serde::Serialize::to_value(&report)));
+    (report, serde::Value::Object(summary))
+}
+
+fn run() -> Result<ExitCode, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         return Err("no command".into());
@@ -183,14 +270,68 @@ fn run() -> Result<(), String> {
                 serde_json::to_string_pretty(&report).expect("serializable")
             );
         }
+        "analyze" => {
+            let target = args.get(1).ok_or("missing algorithm (or 'all')")?;
+            let json = args.iter().any(|a| a == "--json");
+            let explicit_r: Option<u32> = match args.get(2).filter(|a| *a != "--json") {
+                Some(a) => Some(a.parse().map_err(|_| "invalid r")?),
+                None => None,
+            };
+            let bases = if target == "all" {
+                all_base_graphs()
+            } else {
+                vec![resolve(target)?]
+            };
+            let mut summaries = Vec::new();
+            let mut total_errors = 0usize;
+            let mut total_warnings = 0usize;
+            for base in &bases {
+                let ranks: Vec<u32> = match explicit_r {
+                    Some(r) => vec![r],
+                    // Default sweep; G_3 of the tensor-square bases is too
+                    // large to lint interactively.
+                    None => (1..=if base.b() > 30 { 2 } else { 3 }).collect(),
+                };
+                for r in ranks {
+                    let (report, summary) = analyze_target(base, r);
+                    total_errors += report.error_count();
+                    total_warnings += report.warning_count();
+                    if json {
+                        summaries.push(summary);
+                    } else {
+                        println!(
+                            "{:<22} r={r}: {} error(s), {} warning(s)",
+                            base.name(),
+                            report.error_count(),
+                            report.warning_count()
+                        );
+                        for d in &report.diagnostics {
+                            println!("  {d}");
+                        }
+                    }
+                }
+            }
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&serde::Value::Array(summaries))
+                        .expect("serializable")
+                );
+            } else {
+                println!("total: {total_errors} error(s), {total_warnings} warning(s)");
+            }
+            if total_errors > 0 {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
         _ => return Err(format!("unknown command '{cmd}'")),
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             usage()

@@ -19,7 +19,10 @@ fn r7_cdag_builds_and_schedules() {
     let io = AutoScheduler::new(&g, 256).run(&order, &mut Belady).io();
     let bound = LowerBound::new(&strassen()).sequential_io(g.n(), 256);
     assert!(io as f64 >= bound);
-    assert!((io as f64) < 100.0 * bound, "ratio blew up: {io} vs {bound}");
+    assert!(
+        (io as f64) < 100.0 * bound,
+        "ratio blew up: {io} vs {bound}"
+    );
 }
 
 #[test]

@@ -344,33 +344,28 @@ mod tests {
 }
 
 impl<T: serde::Serialize> serde::Serialize for Matrix<T> {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        use serde::ser::SerializeStruct;
-        let mut st = serializer.serialize_struct("Matrix", 3)?;
-        st.serialize_field("rows", &self.rows)?;
-        st.serialize_field("cols", &self.cols)?;
-        st.serialize_field("data", &self.data)?;
-        st.end()
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("rows".to_string(), self.rows.to_value()),
+            ("cols".to_string(), self.cols.to_value()),
+            ("data".to_string(), self.data.to_value()),
+        ])
     }
 }
 
-impl<'de, T: serde::Deserialize<'de>> serde::Deserialize<'de> for Matrix<T> {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Raw<T> {
-            rows: usize,
-            cols: usize,
-            data: Vec<T>,
-        }
-        let raw = Raw::<T>::deserialize(deserializer)?;
-        if raw.data.len() != raw.rows * raw.cols {
+impl<T: serde::Deserialize> serde::Deserialize for Matrix<T> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::de::Error::custom(format!("missing field `{name}`")))
+        };
+        let rows = usize::from_value(field("rows")?)?;
+        let cols = usize::from_value(field("cols")?)?;
+        let data = Vec::<T>::from_value(field("data")?)?;
+        if data.len() != rows * cols {
             return Err(serde::de::Error::custom("matrix shape/data mismatch"));
         }
-        Ok(Matrix {
-            rows: raw.rows,
-            cols: raw.cols,
-            data: raw.data,
-        })
+        Ok(Matrix { rows, cols, data })
     }
 }
 

@@ -9,7 +9,7 @@ use rand::Rng;
 /// Small entries keep exact integer arithmetic overflow-free even through
 /// several Strassen recursion levels.
 pub fn random_i64_matrix<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix<i64> {
-    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-9..=9))
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-9i64..=9))
 }
 
 /// Random `rows × cols` matrix with `f64` entries in `[-1, 1)`.
@@ -19,7 +19,9 @@ pub fn random_f64_matrix<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matri
 
 /// Random `rows × cols` matrix of small integer-valued rationals.
 pub fn random_rational_matrix<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix<Rational> {
-    Matrix::from_fn(rows, cols, |_, _| Rational::integer(rng.gen_range(-9..=9)))
+    Matrix::from_fn(rows, cols, |_, _| {
+        Rational::integer(rng.gen_range(-9i64..=9))
+    })
 }
 
 #[cfg(test)]

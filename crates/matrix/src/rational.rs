@@ -322,15 +322,15 @@ mod tests {
 }
 
 impl serde::Serialize for Rational {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+    fn to_value(&self) -> serde::Value {
         // Human-readable "num/den" keeps JSON diffs reviewable.
-        serializer.serialize_str(&self.to_string())
+        serde::Value::Str(self.to_string())
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Rational {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
+impl serde::Deserialize for Rational {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::de::Error> {
+        let s = String::from_value(v)?;
         let (num, den) = match s.split_once('/') {
             Some((n, d)) => (
                 n.parse::<i64>().map_err(serde::de::Error::custom)?,

@@ -60,14 +60,14 @@ pub fn simulate(g: &Cdag, assignment: &Assignment, order: &[VertexId], m: usize)
     // `charge`: whether a miss costs a local I/O. Operand fetches do;
     // inserting a freshly computed result does not (computation writes its
     // result into cache for free in the machine model).
-    let mut touch = |proc: usize,
-                     v: VertexId,
-                     charge: bool,
-                     in_cache: &mut Vec<Vec<bool>>,
-                     stamp: &mut Vec<Vec<u64>>,
-                     cache_members: &mut Vec<Vec<VertexId>>,
-                     local_io: &mut Vec<u64>,
-                     clock: &mut u64| {
+    let touch = |proc: usize,
+                 v: VertexId,
+                 charge: bool,
+                 in_cache: &mut Vec<Vec<bool>>,
+                 stamp: &mut Vec<Vec<u64>>,
+                 cache_members: &mut Vec<Vec<VertexId>>,
+                 local_io: &mut Vec<u64>,
+                 clock: &mut u64| {
         *clock += 1;
         if in_cache[proc][v.idx()] {
             stamp[proc][v.idx()] = *clock;

@@ -1,0 +1,184 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion): the
+//! `Criterion` / `BenchmarkGroup` / `Bencher` / `BenchmarkId` API surface
+//! this workspace's benches use, with simple wall-clock measurement
+//! (median of a handful of timed batches) printed to stdout.
+//!
+//! No statistics, plots, or baselines — this exists so `cargo bench`
+//! compiles and produces usable numbers offline; see
+//! `docs/offline-build.md`. When run under `cargo test` (bench harnesses
+//! compiled as tests), each benchmark executes once for smoke coverage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Measurement driver handed to the bench closure.
+pub struct Bencher {
+    /// Measured median batch time, populated by [`Bencher::iter`].
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median duration over several batches.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warmup call, then time batches.
+        std::hint::black_box(f());
+        const BATCHES: usize = 5;
+        let mut times = Vec::with_capacity(BATCHES);
+        let mut total_iters = 0u64;
+        for _ in 0..BATCHES {
+            // Scale batch size so fast bodies get multiple iterations.
+            let start = Instant::now();
+            let mut iters = 0u64;
+            loop {
+                std::hint::black_box(f());
+                iters += 1;
+                if start.elapsed() >= Duration::from_millis(10) || iters >= 1000 {
+                    break;
+                }
+            }
+            times.push(start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
+            total_iters += iters;
+        }
+        times.sort();
+        self.elapsed = times[BATCHES / 2];
+        self.iters = total_iters;
+    }
+}
+
+fn run_one(full_name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    println!(
+        "bench {full_name:<50} {:>12.3?} /iter ({} iters)",
+        b.elapsed, b.iters
+    );
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one standalone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the shim ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores time limits.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, name), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.name), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Re-export matching criterion's helper (std's black_box).
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("param", 3), &3, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}
