@@ -42,5 +42,7 @@ pub mod schedule;
 pub use cdag::{analyze_base_at, audit_fact1, lint_base, lint_facts, CdagAudit};
 pub use diag::{Diagnostic, Report, Severity, Span};
 pub use facts::GraphFacts;
-pub use routing::{audit_routing, RoutingAudit, RoutingCertificate};
+pub use routing::{
+    audit_routing, audit_routing_paths, RoutingAudit, RoutingAuditor, RoutingCertificate,
+};
 pub use schedule::{audit_schedule, ScheduleAudit};

@@ -79,45 +79,59 @@ impl CopyGroups {
     }
 }
 
-/// Audits a routing certificate against the graph, appending `MMIO-Rxxx`
-/// diagnostics and returning the measured hit statistics.
-pub fn audit_routing(g: &Cdag, cert: &RoutingCertificate, report: &mut Report) -> RoutingAudit {
-    let n = g.n_vertices();
-    let mut groups = CopyGroups::compute(g);
-    let mut vertex_hits = vec![0u64; n];
-    let mut meta_hits = vec![0u64; n];
-    let mut audit = RoutingAudit {
-        paths: cert.paths.len() as u64,
-        ..RoutingAudit::default()
-    };
+/// The streaming form of the routing audit: the union-find copy grouping is
+/// computed once at construction, and the hit buffers are reused across
+/// [`RoutingAuditor::reset`] calls — so one auditor can re-verify every
+/// Fact-1 copy of a transported routing class without reallocating.
+pub struct RoutingAuditor<'g> {
+    g: &'g Cdag,
+    groups: CopyGroups,
+    vertex_hits: Vec<u64>,
+    meta_hits: Vec<u64>,
+    touched: Vec<u32>,
+    paths: u64,
+}
 
-    if let Some(expected) = cert.expected_paths {
-        if expected != audit.paths {
-            report.push(
-                codes::ROUTE_PATH_COUNT,
-                Severity::Error,
-                Span::Global,
-                format!(
-                    "certificate has {} paths; an in-out routing requires |X|·|Y| = {expected}",
-                    audit.paths
-                ),
-            );
+impl<'g> RoutingAuditor<'g> {
+    /// Creates an auditor for `g`, deriving the independent copy grouping.
+    pub fn new(g: &'g Cdag) -> RoutingAuditor<'g> {
+        let n = g.n_vertices();
+        RoutingAuditor {
+            g,
+            groups: CopyGroups::compute(g),
+            vertex_hits: vec![0; n],
+            meta_hits: vec![0; n],
+            touched: Vec::new(),
+            paths: 0,
         }
     }
 
-    let mut touched: Vec<u32> = Vec::new();
-    for (i, path) in cert.paths.iter().enumerate() {
+    /// Clears hit counts (keeping the copy grouping and allocations) so the
+    /// auditor can audit another path family over the same graph.
+    pub fn reset(&mut self) {
+        self.vertex_hits.fill(0);
+        self.meta_hits.fill(0);
+        self.paths = 0;
+    }
+
+    /// Audits one path (reported as path `index`), checking each hop against
+    /// the graph's real edges and accumulating hit counts. Returns whether
+    /// the path was structurally valid (invalid paths are diagnosed and
+    /// excluded from the counts, but still counted toward `paths`).
+    pub fn add_path(&mut self, index: usize, path: &[VertexId], report: &mut Report) -> bool {
+        self.paths += 1;
         if path.is_empty() {
             report.push(
                 codes::ROUTE_BAD_PATH,
                 Severity::Error,
-                Span::Path(i),
+                Span::Path(index),
                 "empty path",
             );
-            continue;
+            return false;
         }
         // Paths are undirected walks: each hop must be an edge in either
         // direction.
+        let g = self.g;
         if let Some(w) = path
             .windows(2)
             .find(|w| !(g.preds(w[1]).contains(&w[0]) || g.succs(w[1]).contains(&w[0])))
@@ -125,53 +139,117 @@ pub fn audit_routing(g: &Cdag, cert: &RoutingCertificate, report: &mut Report) -
             report.push(
                 codes::ROUTE_BAD_PATH,
                 Severity::Error,
-                Span::Path(i),
+                Span::Path(index),
                 format!("{:?}→{:?} is not an edge of the CDAG", w[0], w[1]),
             );
-            continue;
+            return false;
         }
-        touched.clear();
+        self.touched.clear();
         for &v in path {
-            vertex_hits[v.idx()] += 1;
-            touched.push(groups.find(v.0));
+            self.vertex_hits[v.idx()] += 1;
+            self.touched.push(self.groups.find(v.0));
         }
         // A path hits each meta-vertex at most once (the paper's counting).
-        touched.sort_unstable();
-        touched.dedup();
-        for &root in &touched {
-            meta_hits[root as usize] += 1;
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        for &root in &self.touched {
+            self.meta_hits[root as usize] += 1;
+        }
+        true
+    }
+
+    /// Checks the accumulated counts against `claimed_bound`, appending
+    /// overload diagnostics, and returns the measured statistics.
+    pub fn finish(&self, claimed_bound: u64, report: &mut Report) -> RoutingAudit {
+        let n = self.g.n_vertices();
+        let audit = RoutingAudit {
+            paths: self.paths,
+            max_vertex_hits: self.vertex_hits.iter().copied().max().unwrap_or(0),
+            max_meta_hits: self.meta_hits.iter().copied().max().unwrap_or(0),
+        };
+        if audit.max_vertex_hits > claimed_bound {
+            let worst = (0..n).max_by_key(|&v| self.vertex_hits[v]).unwrap_or(0);
+            report.push(
+                codes::ROUTE_VERTEX_OVERLOAD,
+                Severity::Error,
+                Span::Vertex(worst as u32),
+                format!(
+                    "vertex lies on {} paths, exceeding the claimed bound {}",
+                    audit.max_vertex_hits, claimed_bound
+                ),
+            );
+        }
+        if audit.max_meta_hits > claimed_bound {
+            let worst = (0..n).max_by_key(|&v| self.meta_hits[v]).unwrap_or(0);
+            report.push(
+                codes::ROUTE_META_OVERLOAD,
+                Severity::Error,
+                Span::Vertex(worst as u32),
+                format!(
+                    "meta-vertex rooted at v{worst} is hit by {} paths, exceeding the \
+                     claimed bound {}",
+                    audit.max_meta_hits, claimed_bound
+                ),
+            );
+        }
+        audit
+    }
+}
+
+/// Audits a family of borrowed path slices (e.g. straight out of an
+/// `mmio_core` path arena) without requiring them to be materialized as a
+/// `Vec<Vec<VertexId>>` certificate first. Semantics match
+/// [`audit_routing`]; the path-count check runs after the sweep because the
+/// iterator's length is not known upfront.
+pub fn audit_routing_paths<'a>(
+    g: &Cdag,
+    claimed_bound: u64,
+    expected_paths: Option<u64>,
+    paths: impl IntoIterator<Item = &'a [VertexId]>,
+    report: &mut Report,
+) -> RoutingAudit {
+    let mut auditor = RoutingAuditor::new(g);
+    for (i, path) in paths.into_iter().enumerate() {
+        auditor.add_path(i, path, report);
+    }
+    if let Some(expected) = expected_paths {
+        if expected != auditor.paths {
+            report.push(
+                codes::ROUTE_PATH_COUNT,
+                Severity::Error,
+                Span::Global,
+                format!(
+                    "certificate has {} paths; an in-out routing requires |X|·|Y| = {expected}",
+                    auditor.paths
+                ),
+            );
         }
     }
+    auditor.finish(claimed_bound, report)
+}
 
-    audit.max_vertex_hits = vertex_hits.iter().copied().max().unwrap_or(0);
-    audit.max_meta_hits = meta_hits.iter().copied().max().unwrap_or(0);
-
-    if audit.max_vertex_hits > cert.claimed_bound {
-        let worst = (0..n).max_by_key(|&v| vertex_hits[v]).unwrap_or(0);
-        report.push(
-            codes::ROUTE_VERTEX_OVERLOAD,
-            Severity::Error,
-            Span::Vertex(worst as u32),
-            format!(
-                "vertex lies on {} paths, exceeding the claimed bound {}",
-                audit.max_vertex_hits, cert.claimed_bound
-            ),
-        );
+/// Audits a routing certificate against the graph, appending `MMIO-Rxxx`
+/// diagnostics and returning the measured hit statistics.
+pub fn audit_routing(g: &Cdag, cert: &RoutingCertificate, report: &mut Report) -> RoutingAudit {
+    if let Some(expected) = cert.expected_paths {
+        let actual = cert.paths.len() as u64;
+        if expected != actual {
+            report.push(
+                codes::ROUTE_PATH_COUNT,
+                Severity::Error,
+                Span::Global,
+                format!(
+                    "certificate has {actual} paths; an in-out routing requires |X|·|Y| = \
+                     {expected}"
+                ),
+            );
+        }
     }
-    if audit.max_meta_hits > cert.claimed_bound {
-        let worst = (0..n).max_by_key(|&v| meta_hits[v]).unwrap_or(0);
-        report.push(
-            codes::ROUTE_META_OVERLOAD,
-            Severity::Error,
-            Span::Vertex(worst as u32),
-            format!(
-                "meta-vertex rooted at v{worst} is hit by {} paths, exceeding the \
-                 claimed bound {}",
-                audit.max_meta_hits, cert.claimed_bound
-            ),
-        );
+    let mut auditor = RoutingAuditor::new(g);
+    for (i, path) in cert.paths.iter().enumerate() {
+        auditor.add_path(i, path, report);
     }
-    audit
+    auditor.finish(cert.claimed_bound, report)
 }
 
 #[cfg(test)]
@@ -209,6 +287,48 @@ mod tests {
         let mut report = Report::new();
         audit_routing(&g, &cert, &mut report);
         assert!(report.has_code(codes::ROUTE_BAD_PATH));
+    }
+
+    #[test]
+    fn slice_audit_matches_certificate_audit() {
+        let g = build_cdag(&strassen(), 1);
+        let input = g.inputs().next().unwrap();
+        let combo = g.succs(input)[0];
+        let cert = RoutingCertificate {
+            claimed_bound: 2,
+            expected_paths: Some(2),
+            paths: vec![vec![input, combo], vec![combo, input]],
+        };
+        let mut r1 = Report::new();
+        let by_cert = audit_routing(&g, &cert, &mut r1);
+        let mut r2 = Report::new();
+        let by_slices = audit_routing_paths(
+            &g,
+            cert.claimed_bound,
+            cert.expected_paths,
+            cert.paths.iter().map(Vec::as_slice),
+            &mut r2,
+        );
+        assert_eq!(by_cert, by_slices);
+        assert_eq!(r1.diagnostics.len(), r2.diagnostics.len());
+    }
+
+    #[test]
+    fn auditor_reset_reuses_grouping() {
+        let g = build_cdag(&strassen(), 1);
+        let input = g.inputs().next().unwrap();
+        let combo = g.succs(input)[0];
+        let mut auditor = RoutingAuditor::new(&g);
+        let mut report = Report::new();
+        assert!(auditor.add_path(0, &[input, combo], &mut report));
+        assert_eq!(auditor.finish(1, &mut report).paths, 1);
+        auditor.reset();
+        // After reset, prior hits are gone: the same path audits clean again.
+        assert!(auditor.add_path(0, &[input, combo], &mut report));
+        let audit = auditor.finish(1, &mut report);
+        assert_eq!(audit.paths, 1);
+        assert_eq!(audit.max_vertex_hits, 1);
+        assert!(!report.has_errors(), "{:?}", report.diagnostics);
     }
 
     #[test]

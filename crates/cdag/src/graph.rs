@@ -80,6 +80,11 @@ pub struct Cdag {
     r: u32,
     /// `3(r+1)+1` segment boundaries into the dense vertex space.
     seg_offsets: Vec<u64>,
+    /// Per-segment size `a^{entry_len}` of the packed entry suffix,
+    /// precomputed so [`Cdag::id`] and [`Cdag::vref`] — the innermost loop
+    /// of every routing construction and verification — are pure index
+    /// arithmetic with no `pow` evaluation.
+    seg_suffix: Vec<u64>,
     pred_off: Vec<u32>,
     pred_tgt: Vec<VertexId>,
     pred_coeff: Vec<Rational>,
@@ -99,10 +104,20 @@ impl Cdag {
         succ_off: Vec<u32>,
         succ_tgt: Vec<VertexId>,
     ) -> Cdag {
+        let rp1 = r as usize + 1;
+        let a = base.a();
+        let seg_suffix = (0..3 * rp1)
+            .map(|s| {
+                let level = (s % rp1) as u32;
+                let entry_len = if s / rp1 < 2 { r - level } else { level };
+                index::pow(a, entry_len)
+            })
+            .collect();
         Cdag {
             base,
             r,
             seg_offsets,
+            seg_suffix,
             pred_off,
             pred_tgt,
             pred_coeff,
@@ -174,8 +189,7 @@ impl Cdag {
     /// Debug-panics if the reference is out of range.
     pub fn id(&self, vref: VertexRef) -> VertexId {
         let s = self.seg_index(vref.layer, vref.level);
-        let a = self.base.a();
-        let suffix = index::pow(a, self.entry_len(vref.layer, vref.level));
+        let suffix = self.seg_suffix[s];
         debug_assert!(vref.entry < suffix, "entry out of range");
         let local = vref.mul * suffix + vref.entry;
         debug_assert!(local < self.seg_offsets[s + 1] - self.seg_offsets[s]);
@@ -197,7 +211,7 @@ impl Cdag {
             _ => (Layer::Dec, (s % rp1) as u32),
         };
         let local = pos - self.seg_offsets[s];
-        let suffix = index::pow(self.base.a(), self.entry_len(layer, level));
+        let suffix = self.seg_suffix[s];
         VertexRef {
             layer,
             level,

@@ -17,13 +17,61 @@ pub fn pack(digits: &[usize], radix: usize) -> u64 {
 /// Unpacks `value` into `len` digits (most significant first) in base `radix`.
 pub fn unpack(value: u64, radix: usize, len: usize) -> Vec<usize> {
     let mut digits = vec![0usize; len];
+    unpack_into(value, radix, &mut digits);
+    digits
+}
+
+/// Allocation-free [`unpack`]: fills `digits` (most significant first) from
+/// `value` in base `radix`. Routing hot paths decode millions of digit
+/// vectors; reusing one scratch slice keeps them off the allocator.
+pub fn unpack_into(value: u64, radix: usize, digits: &mut [usize]) {
     let mut v = value;
     for d in digits.iter_mut().rev() {
         *d = (v % radix as u64) as usize;
         v /= radix as u64;
     }
-    debug_assert_eq!(v, 0, "value does not fit in {len} base-{radix} digits");
-    digits
+    debug_assert_eq!(
+        v,
+        0,
+        "value does not fit in {} base-{radix} digits",
+        digits.len()
+    );
+}
+
+/// A radix with its powers precomputed up to the largest exponent whose
+/// value fits in `u64`. Turns the `radix^exp` in hot-path address
+/// arithmetic ([`crate::Cdag::id`] / [`crate::Cdag::vref`], chain lifting)
+/// into a table load.
+#[derive(Clone, Debug)]
+pub struct Radix {
+    radix: usize,
+    pows: Vec<u64>,
+}
+
+impl Radix {
+    /// Precomputes the power table for `radix ≥ 2`.
+    pub fn new(radix: usize) -> Radix {
+        assert!(radix >= 2, "radix must be at least 2");
+        let mut pows = vec![1u64];
+        while let Some(next) = pows.last().unwrap().checked_mul(radix as u64) {
+            pows.push(next);
+        }
+        Radix { radix, pows }
+    }
+
+    /// The radix itself.
+    pub fn radix(&self) -> usize {
+        self.radix
+    }
+
+    /// `radix^exp`, panicking (like [`pow`]) when the value overflows `u64`.
+    #[inline]
+    pub fn pow(&self, exp: u32) -> u64 {
+        self.pows
+            .get(exp as usize)
+            .copied()
+            .expect("index space overflow: graph too large")
+    }
 }
 
 /// `radix^exp` as `u64`, panicking on overflow (graph sizes must fit).
@@ -101,6 +149,34 @@ mod tests {
     fn pow_works() {
         assert_eq!(pow(7, 0), 1);
         assert_eq!(pow(4, 5), 1024);
+    }
+
+    #[test]
+    fn radix_table_matches_checked_pow() {
+        for radix in [2usize, 4, 7, 49] {
+            let table = Radix::new(radix);
+            assert_eq!(table.radix(), radix);
+            let mut exp = 0u32;
+            while (radix as u64).checked_pow(exp).is_some() {
+                assert_eq!(table.pow(exp), pow(radix, exp), "radix={radix} exp={exp}");
+                exp += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index space overflow")]
+    fn radix_table_overflow_panics() {
+        let _ = Radix::new(7).pow(64);
+    }
+
+    #[test]
+    fn unpack_into_matches_unpack() {
+        let mut buf = [0usize; 4];
+        for v in 0..7u64.pow(4) {
+            unpack_into(v, 7, &mut buf);
+            assert_eq!(buf.to_vec(), unpack(v, 7, 4));
+        }
     }
 
     #[test]

@@ -44,6 +44,10 @@
 //! assert_eq!(g.outputs().count(), 1);
 //! ```
 
+// Index arithmetic and adjacency access sit on every hot path of the
+// routing engine; performance lints are errors here, not suggestions.
+#![deny(clippy::perf)]
+
 pub mod base;
 pub mod build;
 pub mod connectivity;

@@ -7,21 +7,29 @@
 //! mmio export <algo>                base graph as JSON (stdout)
 //! mmio simulate <algo> <r> <M>      I/O of the recursive schedule
 //! mmio certify <algo> <r> <M>       machine-checked lower-bound certificate
-//! mmio routing <algo> <k>           construct + verify the 6a^k-routing
+//! mmio routing <algo> <k> [r]       construct + verify the 6a^k-routing
+//!                                   (with r: transport into all copies in G_r)
 //! mmio report <algo> <r> <M>        full JSON analysis report
 //! mmio analyze <algo|all> [r] [--json]   static analysis & certification
 //! ```
 //!
 //! `<algo>` is a built-in name (`mmio list`) or a path to a JSON base-graph
 //! file (see `mmio export`).
+//!
+//! The global flag `--threads N` (or the `MMIO_THREADS` environment
+//! variable; default: all available cores) sets the worker count for the
+//! parallel verification paths. Output is byte-identical at any thread
+//! count.
 
 use mmio_algos::registry::all_base_graphs;
 use mmio_cdag::build::build_cdag;
 use mmio_cdag::connectivity::classify;
 use mmio_cdag::serialize;
 use mmio_cdag::BaseGraph;
-use mmio_core::theorem1::{certify_with, CertifyParams, LowerBound};
+use mmio_core::theorem1::{certify_pooled, CertifyParams, LowerBound};
 use mmio_core::theorem2::InOutRouting;
+use mmio_core::transport::{verify_transported, RoutingClass};
+use mmio_parallel::Pool;
 use mmio_pebble::orders::recursive_order;
 use mmio_pebble::policy::Belady;
 use mmio_pebble::AutoScheduler;
@@ -29,7 +37,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mmio <command> [args]\n\
+        "usage: mmio [--threads N] <command> [args]\n\
          commands:\n  \
          list\n  \
          info     <algo>\n  \
@@ -37,11 +45,27 @@ fn usage() -> ExitCode {
          export   <algo>\n  \
          simulate <algo> <r> <M>\n  \
          certify  <algo> <r> <M>\n  \
-         routing  <algo> <k>\n  \
+         routing  <algo> <k> [r]\n  \
          report   <algo> <r> <M>\n  \
          analyze  <algo|all> [r] [--json]"
     );
     ExitCode::FAILURE
+}
+
+/// Strips a `--threads N` flag (anywhere in the argument list) and returns
+/// the explicit worker count, if any. `Pool::from_env` falls back to the
+/// `MMIO_THREADS` environment variable, then to `available_parallelism`.
+fn extract_threads(args: &mut Vec<String>) -> Result<Option<usize>, String> {
+    let Some(i) = args.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    let n: usize = args
+        .get(i + 1)
+        .ok_or("missing value for --threads")?
+        .parse()
+        .map_err(|_| "invalid --threads value")?;
+    args.drain(i..=i + 1);
+    Ok(Some(n))
 }
 
 fn resolve(name: &str) -> Result<BaseGraph, String> {
@@ -67,8 +91,6 @@ fn parse<T: std::str::FromStr>(arg: Option<&String>, what: &str) -> Result<T, St
 /// `r`, with the schedule and routing audits run at (possibly capped)
 /// depths chosen to keep path enumeration tractable.
 fn analyze_target(base: &BaseGraph, r: u32) -> (mmio_analyze::Report, serde_json::Value) {
-    use mmio_core::deps::{unpack_entry, DepSide};
-
     let mut report = mmio_analyze::analyze_base_at(base, r);
 
     // Schedule legality: audit an auto-generated recursive schedule.
@@ -94,25 +116,18 @@ fn analyze_target(base: &BaseGraph, r: u32) -> (mmio_analyze::Report, serde_json
             None
         }
         Some(routing) => {
-            let (n0, k) = (base.n0(), routing_k);
-            let ak = mmio_cdag::index::pow(base.a(), k);
-            let mut paths = Vec::with_capacity((2 * ak * ak) as usize);
-            for side in [DepSide::A, DepSide::B] {
-                for in_e in 0..ak {
-                    let (ir, ic) = unpack_entry(in_e, n0, k);
-                    for out_e in 0..ak {
-                        let (or_, oc) = unpack_entry(out_e, n0, k);
-                        paths.push(routing.path(side, ir, ic, or_, oc));
-                    }
-                }
-            }
-            let cert = mmio_analyze::RoutingCertificate {
-                claimed_bound: routing.theorem2_bound(),
-                expected_paths: Some(2 * ak * ak),
-                paths,
-            };
+            // Audit straight from the flat path arena (same enumeration
+            // order as the old explicit Vec<Vec<_>> certificate, without
+            // one heap block per path).
+            let arena = routing.collect_paths();
             Some((
-                mmio_analyze::audit_routing(&gk, &cert, &mut report),
+                mmio_analyze::audit_routing_paths(
+                    &gk,
+                    routing.theorem2_bound(),
+                    Some(routing.n_paths()),
+                    arena.iter(),
+                    &mut report,
+                ),
                 routing.theorem2_bound(),
             ))
         }
@@ -149,7 +164,9 @@ fn analyze_target(base: &BaseGraph, r: u32) -> (mmio_analyze::Report, serde_json
 }
 
 fn run() -> Result<ExitCode, String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let explicit_threads = extract_threads(&mut args)?;
+    let pool = Pool::from_env(explicit_threads);
     let Some(cmd) = args.first() else {
         return Err("no command".into());
     };
@@ -229,7 +246,7 @@ fn run() -> Result<ExitCode, String> {
             let m: u64 = parse(args.get(3), "M")?;
             let g = build_cdag(&base, r);
             let order = recursive_order(&g);
-            let cert = certify_with(&g, m, &order, CertifyParams::SMALL);
+            let cert = certify_pooled(&g, m, &order, CertifyParams::SMALL, &pool);
             println!(
                 "n = {}, M = {m}: {} complete segments, certified I/O ≥ {}",
                 cert.n, cert.analysis.complete_segments, cert.analysis.certified_io
@@ -245,7 +262,7 @@ fn run() -> Result<ExitCode, String> {
             let g = build_cdag(&base, k);
             let routing = InOutRouting::new(&g)
                 .ok_or("no n₀-capacity Hall matching (paper hypotheses fail)")?;
-            let stats = routing.verify();
+            let stats = routing.verify_with(&pool);
             println!(
                 "6a^k = {}: {} paths, max vertex hits {}, max meta hits {} → {}",
                 routing.theorem2_bound(),
@@ -258,6 +275,35 @@ fn run() -> Result<ExitCode, String> {
                     "VIOLATED"
                 }
             );
+            // Optional third argument r: build the routing *class* once and
+            // transport it into every copy of G_k inside G_r (Fact 1),
+            // re-verifying each copy against the real G_r edges.
+            if let Some(rarg) = args.get(3) {
+                let r: u32 = rarg.parse().map_err(|_| "invalid r")?;
+                if r < k {
+                    return Err(format!("r = {r} must be ≥ k = {k}"));
+                }
+                let class = RoutingClass::build(&base, k, &pool)
+                    .expect("Hall matching exists (verified above)");
+                let gr = build_cdag(&base, r);
+                let tr = verify_transported(&gr, &class, &pool);
+                println!(
+                    "transported into G_{r}: {} copies × {} paths, max hits {}/{} \
+                     (bound {}), edge violations {}, uniform {} → {}",
+                    tr.copies,
+                    tr.paths_per_copy,
+                    tr.max_vertex_hits,
+                    tr.max_meta_hits,
+                    tr.bound,
+                    tr.edge_violations,
+                    tr.uniform,
+                    if tr.verified() {
+                        "VERIFIED"
+                    } else {
+                        "VIOLATED"
+                    }
+                );
+            }
         }
         "report" => {
             let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
@@ -282,32 +328,40 @@ fn run() -> Result<ExitCode, String> {
             } else {
                 vec![resolve(target)?]
             };
-            let mut summaries = Vec::new();
-            let mut total_errors = 0usize;
-            let mut total_warnings = 0usize;
-            for base in &bases {
+            // Flatten the (algorithm, r) targets, fan the analyses out over
+            // the pool, and consume results in target order — so the output
+            // is byte-identical to the serial loop at any thread count.
+            let mut work: Vec<(usize, u32)> = Vec::new();
+            for (bi, base) in bases.iter().enumerate() {
                 let ranks: Vec<u32> = match explicit_r {
                     Some(r) => vec![r],
                     // Default sweep; G_3 of the tensor-square bases is too
                     // large to lint interactively.
                     None => (1..=if base.b() > 30 { 2 } else { 3 }).collect(),
                 };
-                for r in ranks {
-                    let (report, summary) = analyze_target(base, r);
-                    total_errors += report.error_count();
-                    total_warnings += report.warning_count();
-                    if json {
-                        summaries.push(summary);
-                    } else {
-                        println!(
-                            "{:<22} r={r}: {} error(s), {} warning(s)",
-                            base.name(),
-                            report.error_count(),
-                            report.warning_count()
-                        );
-                        for d in &report.diagnostics {
-                            println!("  {d}");
-                        }
+                work.extend(ranks.into_iter().map(|r| (bi, r)));
+            }
+            let results = pool.map(work.len(), |i| {
+                let (bi, r) = work[i];
+                analyze_target(&bases[bi], r)
+            });
+            let mut summaries = Vec::new();
+            let mut total_errors = 0usize;
+            let mut total_warnings = 0usize;
+            for (&(bi, r), (report, summary)) in work.iter().zip(results) {
+                total_errors += report.error_count();
+                total_warnings += report.warning_count();
+                if json {
+                    summaries.push(summary);
+                } else {
+                    println!(
+                        "{:<22} r={r}: {} error(s), {} warning(s)",
+                        bases[bi].name(),
+                        report.error_count(),
+                        report.warning_count()
+                    );
+                    for d in &report.diagnostics {
+                        println!("  {d}");
                     }
                 }
             }

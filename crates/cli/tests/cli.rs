@@ -108,3 +108,59 @@ fn no_args_prints_usage() {
     assert!(!out.status.success());
     assert!(String::from_utf8(out.stderr).unwrap().contains("usage"));
 }
+
+#[test]
+fn analyze_json_is_thread_count_invariant() {
+    // The determinism contract: `--threads N` must never change output.
+    // One clean algorithm, one with a different matching structure, and
+    // the disconnected-decoding pathology.
+    for algo in ["strassen", "winograd", "strassen+dummy"] {
+        let serial = mmio(&["--threads", "1", "analyze", algo, "2", "--json"]);
+        assert!(serial.status.success(), "{algo}");
+        for threads in ["2", "8"] {
+            let par = mmio(&["--threads", threads, "analyze", algo, "2", "--json"]);
+            assert_eq!(par.status.code(), serial.status.code(), "{algo}");
+            assert_eq!(
+                par.stdout, serial.stdout,
+                "{algo}: analyze --json diverges at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn threads_env_var_matches_flag() {
+    let flag = mmio(&["--threads", "3", "routing", "strassen", "1", "3"]);
+    assert!(flag.status.success());
+    let env = Command::new(env!("CARGO_BIN_EXE_mmio"))
+        .env("MMIO_THREADS", "3")
+        .args(["routing", "strassen", "1", "3"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(flag.stdout, env.stdout);
+    // And the explicit flag wins over the environment.
+    let both = Command::new(env!("CARGO_BIN_EXE_mmio"))
+        .env("MMIO_THREADS", "2")
+        .args(["--threads", "1", "routing", "strassen", "1", "3"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(both.stdout, flag.stdout);
+}
+
+#[test]
+fn routing_transport_verifies() {
+    let out = mmio(&["routing", "winograd", "1", "3"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("49 copies"), "{stdout}");
+    assert!(stdout.contains("uniform true"), "{stdout}");
+    assert!(!stdout.contains("VIOLATED"), "{stdout}");
+}
+
+#[test]
+fn bad_threads_value_fails() {
+    let out = mmio(&["--threads", "zero", "list"]);
+    assert!(!out.status.success());
+    let out = mmio(&["--threads"]);
+    assert!(!out.status.success());
+}

@@ -24,6 +24,40 @@ pub struct ChainRouter<'g> {
     table_b: Vec<Vec<Vec<usize>>>,
 }
 
+/// Reusable buffers for [`ChainRouter::chain_with`]: digit vectors and the
+/// per-level prefix/suffix pack tables. One scratch serves millions of chain
+/// constructions without touching the allocator.
+#[derive(Clone, Debug, Default)]
+pub struct ChainScratch {
+    in_rows: Vec<usize>,
+    in_cols: Vec<usize>,
+    out_rows: Vec<usize>,
+    out_cols: Vec<usize>,
+    /// `t_pre[l] = pack(ts[..l], b)`: the packed matched-product prefix.
+    t_pre: Vec<u64>,
+    /// `x_suf[l] = pack(xs[l..], a)`: the packed input-entry suffix.
+    x_suf: Vec<u64>,
+    /// `y_suf[l] = pack(ys[l..], a)`: the packed output-entry suffix.
+    y_suf: Vec<u64>,
+}
+
+impl ChainScratch {
+    /// Fresh (empty) scratch; buffers grow to the graph's depth on first use.
+    pub fn new() -> ChainScratch {
+        ChainScratch::default()
+    }
+
+    fn resize(&mut self, k: usize) {
+        self.in_rows.resize(k, 0);
+        self.in_cols.resize(k, 0);
+        self.out_rows.resize(k, 0);
+        self.out_cols.resize(k, 0);
+        self.t_pre.resize(k + 1, 0);
+        self.x_suf.resize(k + 1, 0);
+        self.y_suf.resize(k + 1, 0);
+    }
+}
+
 impl<'g> ChainRouter<'g> {
     /// Builds the router. Returns `None` when either side lacks an
     /// `n₀`-capacity Hall matching (violating the paper's assumptions).
@@ -63,43 +97,74 @@ impl<'g> ChainRouter<'g> {
     /// # Panics
     /// Panics if `dep` is not guaranteed.
     pub fn chain(&self, dep: &Dependence) -> Vec<VertexId> {
+        let mut scratch = ChainScratch::new();
+        let mut path = Vec::with_capacity(2 * (self.g.r() as usize + 1));
+        self.chain_with(dep, &mut scratch, &mut path);
+        path
+    }
+
+    /// Allocation-free [`ChainRouter::chain`]: writes the chain into `path`
+    /// (cleared first), reusing `scratch` for all digit arithmetic. The
+    /// per-level prefix and suffix packs are built incrementally (`O(k)`
+    /// total instead of `O(k²)` repacking per level).
+    ///
+    /// # Panics
+    /// Panics if `dep` is not guaranteed.
+    pub fn chain_with(
+        &self,
+        dep: &Dependence,
+        scratch: &mut ChainScratch,
+        path: &mut Vec<VertexId>,
+    ) {
         assert!(dep.is_guaranteed(), "chains exist only for guaranteed deps");
         let g = self.g;
         let base = g.base();
         let (n0, a, b) = (base.n0(), base.a(), base.b());
         let k = g.r() as usize;
+        scratch.resize(k);
 
-        let in_rows = index::unpack(dep.in_row, n0, k);
-        let in_cols = index::unpack(dep.in_col, n0, k);
-        let out_rows = index::unpack(dep.out_row, n0, k);
-        let out_cols = index::unpack(dep.out_col, n0, k);
+        index::unpack_into(dep.in_row, n0, &mut scratch.in_rows);
+        index::unpack_into(dep.in_col, n0, &mut scratch.in_cols);
+        index::unpack_into(dep.out_row, n0, &mut scratch.out_rows);
+        index::unpack_into(dep.out_col, n0, &mut scratch.out_cols);
 
-        // Per-level matched product and entry digits.
-        let (layer, ts): (Layer, Vec<usize>) = match dep.side {
-            DepSide::A => (
-                Layer::EncA,
-                (0..k)
-                    .map(|l| self.table_a[in_rows[l]][in_cols[l]][out_cols[l]])
-                    .collect(),
-            ),
-            DepSide::B => (
-                Layer::EncB,
-                (0..k)
-                    .map(|l| self.table_b[in_cols[l]][in_rows[l]][out_rows[l]])
-                    .collect(),
-            ),
+        // Per-level matched product (prefix-packed incrementally) and
+        // entry-digit suffix packs (built backward).
+        let layer = match dep.side {
+            DepSide::A => Layer::EncA,
+            DepSide::B => Layer::EncB,
         };
-        let xs: Vec<usize> = (0..k).map(|l| in_rows[l] * n0 + in_cols[l]).collect();
-        let ys: Vec<usize> = (0..k).map(|l| out_rows[l] * n0 + out_cols[l]).collect();
+        scratch.t_pre[0] = 0;
+        scratch.x_suf[k] = 0;
+        scratch.y_suf[k] = 0;
+        for l in 0..k {
+            let t = match dep.side {
+                DepSide::A => {
+                    self.table_a[scratch.in_rows[l]][scratch.in_cols[l]][scratch.out_cols[l]]
+                }
+                DepSide::B => {
+                    self.table_b[scratch.in_cols[l]][scratch.in_rows[l]][scratch.out_rows[l]]
+                }
+            };
+            scratch.t_pre[l + 1] = scratch.t_pre[l] * b as u64 + t as u64;
+        }
+        let mut weight = 1u64;
+        for l in (0..k).rev() {
+            let x = (scratch.in_rows[l] * n0 + scratch.in_cols[l]) as u64;
+            let y = (scratch.out_rows[l] * n0 + scratch.out_cols[l]) as u64;
+            scratch.x_suf[l] = x * weight + scratch.x_suf[l + 1];
+            scratch.y_suf[l] = y * weight + scratch.y_suf[l + 1];
+            weight *= a as u64;
+        }
 
-        let mut path = Vec::with_capacity(2 * (k + 1));
+        path.clear();
         // Encoding ranks 0..=k.
         for l in 0..=k {
             path.push(g.id(VertexRef {
                 layer,
                 level: l as u32,
-                mul: index::pack(&ts[..l], b),
-                entry: index::pack(&xs[l..], a),
+                mul: scratch.t_pre[l],
+                entry: scratch.x_suf[l],
             }));
         }
         // Product = decoding rank 0 (already entered at l=k? No: encoding
@@ -107,7 +172,7 @@ impl<'g> ChainRouter<'g> {
         path.push(g.id(VertexRef {
             layer: Layer::Dec,
             level: 0,
-            mul: index::pack(&ts, b),
+            mul: scratch.t_pre[k],
             entry: 0,
         }));
         // Decoding ranks 1..=k.
@@ -115,19 +180,21 @@ impl<'g> ChainRouter<'g> {
             path.push(g.id(VertexRef {
                 layer: Layer::Dec,
                 level: l as u32,
-                mul: index::pack(&ts[..k - l], b),
-                entry: index::pack(&ys[k - l..], a),
+                mul: scratch.t_pre[k - l],
+                entry: scratch.y_suf[k - l],
             }));
         }
-        path
     }
 
     /// Routes every guaranteed dependence of `G_k`, feeding paths to the
     /// counter. Lemma 3: the result is a `2n₀^k`-routing consisting of
     /// chains.
     pub fn route_all(&self, counter: &mut VertexHitCounter<'_>) {
+        let mut scratch = ChainScratch::new();
+        let mut path = Vec::with_capacity(2 * (self.g.r() as usize + 1));
         for dep in crate::deps::all_dependencies(self.g.base().n0(), self.g.r()) {
-            counter.add_path(&self.chain(&dep));
+            self.chain_with(&dep, &mut scratch, &mut path);
+            counter.add_path(&path);
         }
     }
 

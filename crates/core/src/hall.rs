@@ -145,8 +145,10 @@ impl<'b> MatchingGraph<'b> {
             false
         }
 
+        // One visited buffer reused (cleared) across augmenting passes.
+        let mut visited = vec![false; b];
         for xi in 0..deps.len() {
-            let mut visited = vec![false; b];
+            visited.fill(false);
             if !try_assign(
                 xi,
                 &deps,

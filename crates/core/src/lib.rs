@@ -48,6 +48,10 @@
 //! assert_eq!(stats.paths, 2 * 16 * 16); // |In|·|Out| = 2a^k·a^k
 //! ```
 
+// Chain construction, hit counting, and transport are the workspace's hot
+// paths; performance lints are errors here, not suggestions.
+#![deny(clippy::perf)]
+
 pub mod boundary;
 pub mod chains;
 pub mod claim1;
@@ -65,7 +69,9 @@ pub mod routing;
 pub mod segments;
 pub mod theorem1;
 pub mod theorem2;
+pub mod transport;
 
 pub use routing::{RoutingStats, VertexHitCounter};
 pub use theorem1::LowerBound;
 pub use theorem2::InOutRouting;
+pub use transport::{RoutingClass, RoutingMemo, TransportReport};

@@ -18,6 +18,9 @@ pub struct VertexHitCounter<'g> {
     meta: Option<(&'g MetaVertices, Vec<u64>)>,
     paths: u64,
     length_sum: u64,
+    /// Reusable scratch for per-path meta-root deduplication, so
+    /// [`VertexHitCounter::add_path`] allocates nothing after warm-up.
+    touched: Vec<usize>,
 }
 
 /// Summary statistics of a verified routing.
@@ -44,6 +47,7 @@ impl<'g> VertexHitCounter<'g> {
             meta: meta.map(|m| (m, vec![0; g.n_vertices()])),
             paths: 0,
             length_sum: 0,
+            touched: Vec::new(),
         }
     }
 
@@ -65,21 +69,63 @@ impl<'g> VertexHitCounter<'g> {
             self.hits[v.idx()] += 1;
         }
         if let Some((meta, mhits)) = &mut self.meta {
-            let mut touched: Vec<usize> = path
-                .iter()
-                .map(|&v| meta.root_vertex(meta.meta_of(v)).idx())
-                .collect();
-            touched.sort_unstable();
-            touched.dedup();
-            for root in touched {
+            self.touched.clear();
+            self.touched.extend(
+                path.iter()
+                    .map(|&v| meta.root_vertex(meta.meta_of(v)).idx()),
+            );
+            self.touched.sort_unstable();
+            self.touched.dedup();
+            for &root in &self.touched {
                 mhits[root] += 1;
             }
         }
     }
 
+    /// Absorbs another counter over the *same graph* (and the same
+    /// meta-vertex tracking mode). Hit counts are sums, so merging sharded
+    /// counters in any fixed order reproduces the serial count exactly —
+    /// the foundation of the deterministic parallel verification path.
+    ///
+    /// # Panics
+    /// Panics if the two counters track different graphs or disagree on
+    /// meta tracking.
+    pub fn merge(&mut self, other: &VertexHitCounter<'g>) {
+        assert_eq!(
+            self.hits.len(),
+            other.hits.len(),
+            "counters must cover the same graph"
+        );
+        for (h, o) in self.hits.iter_mut().zip(&other.hits) {
+            *h += o;
+        }
+        match (&mut self.meta, &other.meta) {
+            (None, None) => {}
+            (Some((_, mh)), Some((_, oh))) => {
+                for (h, o) in mh.iter_mut().zip(oh) {
+                    *h += o;
+                }
+            }
+            _ => panic!("counters disagree on meta-vertex tracking"),
+        }
+        self.paths += other.paths;
+        self.length_sum += other.length_sum;
+    }
+
     /// Hits of a specific vertex.
     pub fn hits_of(&self, v: VertexId) -> u64 {
         self.hits[v.idx()]
+    }
+
+    /// Clears all counts (keeping the allocations), so one counter can be
+    /// reused across the per-copy verifications of a Fact-1 transport sweep.
+    pub fn reset(&mut self) {
+        self.hits.fill(0);
+        if let Some((_, mh)) = &mut self.meta {
+            mh.fill(0);
+        }
+        self.paths = 0;
+        self.length_sum = 0;
     }
 
     /// Finishes counting and returns summary statistics.
@@ -110,6 +156,71 @@ impl RoutingStats {
 /// output).
 pub fn is_chain(g: &Cdag, path: &[VertexId]) -> bool {
     path.windows(2).all(|w| g.preds(w[1]).contains(&w[0]))
+}
+
+/// Flat storage for a family of paths: one shared vertex buffer plus an
+/// offset table, instead of a `Vec<Vec<VertexId>>` with one heap block per
+/// path. Routing families contain `2a^{2k}` paths; storing them contiguously
+/// is what makes memoizing a whole routing class (and iterating it once per
+/// Fact-1 copy) cheap.
+#[derive(Clone, Debug, Default)]
+pub struct PathArena {
+    /// `offsets[i]..offsets[i+1]` delimits path `i` in `verts`.
+    offsets: Vec<u32>,
+    verts: Vec<VertexId>,
+}
+
+impl PathArena {
+    /// An empty arena.
+    pub fn new() -> PathArena {
+        PathArena {
+            offsets: vec![0],
+            verts: Vec::new(),
+        }
+    }
+
+    /// An empty arena pre-sized for `paths` paths of about `avg_len`
+    /// vertices each.
+    pub fn with_capacity(paths: usize, avg_len: usize) -> PathArena {
+        let mut offsets = Vec::with_capacity(paths + 1);
+        offsets.push(0);
+        PathArena {
+            offsets,
+            verts: Vec::with_capacity(paths * avg_len),
+        }
+    }
+
+    /// Appends one path.
+    pub fn push(&mut self, path: &[VertexId]) {
+        self.verts.extend_from_slice(path);
+        self.offsets
+            .push(u32::try_from(self.verts.len()).expect("arena exceeds u32 index space"));
+    }
+
+    /// Number of stored paths.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the arena holds no paths.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of stored vertices (path lengths summed).
+    pub fn total_vertices(&self) -> usize {
+        self.verts.len()
+    }
+
+    /// The `i`-th path.
+    pub fn path(&self, i: usize) -> &[VertexId] {
+        &self.verts[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterates over all paths in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[VertexId]> + '_ {
+        (0..self.len()).map(move |i| self.path(i))
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +265,47 @@ mod tests {
         let stats = counter.stats();
         assert_eq!(stats.max_vertex_hits, 2);
         assert_eq!(stats.max_meta_hits, 2, "once per path, two paths");
+    }
+
+    #[test]
+    fn merge_equals_serial_count() {
+        let g = build_cdag(&strassen(), 1);
+        let meta = MetaVertices::compute(&g);
+        let input = g.inputs().next().unwrap();
+        let combo = g.succs(input)[0];
+        // Serial: both paths into one counter.
+        let mut serial = VertexHitCounter::new(&g, Some(&meta));
+        serial.add_path(&[input, combo]);
+        serial.add_path(&[input, combo]);
+        // Sharded: one path per counter, merged.
+        let mut a = VertexHitCounter::new(&g, Some(&meta));
+        a.add_path(&[input, combo]);
+        let mut b = VertexHitCounter::new(&g, Some(&meta));
+        b.add_path(&[input, combo]);
+        a.merge(&b);
+        let (s, m) = (serial.stats(), a.stats());
+        assert_eq!(s.paths, m.paths);
+        assert_eq!(s.total_length, m.total_length);
+        assert_eq!(s.max_vertex_hits, m.max_vertex_hits);
+        assert_eq!(s.max_meta_hits, m.max_meta_hits);
+        assert_eq!(a.hits_of(input), serial.hits_of(input));
+    }
+
+    #[test]
+    fn arena_stores_paths_flat() {
+        let g = build_cdag(&strassen(), 1);
+        let input = g.inputs().next().unwrap();
+        let combo = g.succs(input)[0];
+        let mut arena = PathArena::with_capacity(2, 2);
+        assert!(arena.is_empty());
+        arena.push(&[input, combo]);
+        arena.push(&[combo]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.total_vertices(), 3);
+        assert_eq!(arena.path(0), &[input, combo]);
+        assert_eq!(arena.path(1), &[combo]);
+        let collected: Vec<&[VertexId]> = arena.iter().collect();
+        assert_eq!(collected.len(), 2);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use mmio_cdag::fact1::Subcomputation;
 use mmio_cdag::{index, Cdag, Layer, MetaVertices, VertexId, VertexRef};
+use mmio_parallel::Pool;
 use serde::Serialize;
 
 /// The paper's choice of subcomputation depth for cache size `m`
@@ -113,6 +114,91 @@ pub fn analyze(
     threshold: u64,
     k: u32,
 ) -> SegmentAnalysis {
+    analyze_with(g, meta, order, counted, m, threshold, k, &Pool::serial())
+}
+
+/// One segment's boundary and I/O quantities. `vs = order[start..end]` is
+/// the segment's computed vertices; `pos` maps every vertex to its position
+/// in the order (`u64::MAX` for inputs).
+fn segment_report(
+    g: &Cdag,
+    meta: &MetaVertices,
+    pos: &[u64],
+    vs: &[VertexId],
+    (start, end, counted_n, complete): (usize, usize, u64, bool),
+) -> SegmentReport {
+    // Meta-closure membership mask.
+    let mut in_closure = vec![false; g.n_vertices()];
+    for &v in vs {
+        for w in meta.members_of(v) {
+            in_closure[w.idx()] = true;
+        }
+    }
+    // δ'(S'): outside metas adjacent in either direction (Equation 2).
+    let boundary = meta.meta_boundary(g, vs).len() as u64;
+    // R'(S'): outside metas feeding vertices *computed in this
+    // segment*. (Not the whole closure: a closure member computed in an
+    // earlier segment needed its operands then, not now — charging them
+    // again here would double-count loads and break soundness.)
+    let mut read_roots = std::collections::HashSet::new();
+    for &v in vs {
+        for &p in g.preds(v) {
+            if !in_closure[p.idx()] {
+                read_roots.insert(meta.meta_of(p));
+            }
+        }
+    }
+    // W°(S'): metas whose root is computed in this segment and that are
+    // used after it (some member has a successor computed at position
+    // ≥ end) or contain an output (which must eventually be stored).
+    let end_pos = end as u64;
+    let mut write_roots = std::collections::HashSet::new();
+    for &v in vs {
+        let root = meta.root_vertex(meta.meta_of(v));
+        let rp = pos[root.idx()];
+        if rp == u64::MAX || rp < start as u64 || rp >= end_pos {
+            continue; // root is an input or computed in another segment
+        }
+        let needed_later = meta.members_of(root).into_iter().any(|member| {
+            g.is_output(member)
+                || g.succs(member)
+                    .iter()
+                    .any(|&s| pos[s.idx()] != u64::MAX && pos[s.idx()] >= end_pos)
+        });
+        if needed_later {
+            write_roots.insert(meta.meta_of(root));
+        }
+    }
+    SegmentReport {
+        start,
+        end,
+        counted: counted_n,
+        meta_boundary: boundary,
+        read_metas: read_roots.len() as u64,
+        write_metas: write_roots.len() as u64,
+        complete,
+    }
+}
+
+/// [`analyze`] with the per-segment reports computed over `pool`.
+///
+/// Two phases: the segment *boundaries* come from a serial scan of the
+/// order (the running counted-vertex counter is inherently sequential), and
+/// then each segment's report — closure mask, `δ'(S')`, `R'(S')`, `W°(S')`,
+/// the expensive part — is computed independently. [`Pool::map`] returns
+/// results in segment order, so the analysis is byte-identical to the
+/// serial path at any thread count.
+#[allow(clippy::too_many_arguments)] // mirrors `analyze`, plus the pool
+pub fn analyze_with(
+    g: &Cdag,
+    meta: &MetaVertices,
+    order: &[VertexId],
+    counted: &[bool],
+    m: u64,
+    threshold: u64,
+    k: u32,
+    pool: &Pool,
+) -> SegmentAnalysis {
     let n = g.n_vertices();
     // Position of each vertex's computation; inputs get position MAX-as-
     // "before everything" sentinel handled separately.
@@ -121,73 +207,12 @@ pub fn analyze(
         pos[v.idx()] = i as u64;
     }
 
-    let mut segments = Vec::new();
+    // Phase 1 (serial): find the segment boundaries.
+    let mut bounds: Vec<(usize, usize, u64, bool)> = Vec::new();
     let mut start = 0usize;
     let mut counted_in_segment = 0u64;
-    let mut segment_vertices: Vec<VertexId> = Vec::new();
     let mut counted_seen = vec![false; n];
-
-    let flush = |start: usize,
-                 end: usize,
-                 counted_n: u64,
-                 vs: &[VertexId],
-                 complete: bool,
-                 segments: &mut Vec<SegmentReport>| {
-        // Meta-closure membership mask.
-        let mut in_closure = vec![false; n];
-        for &v in vs {
-            for w in meta.members_of(v) {
-                in_closure[w.idx()] = true;
-            }
-        }
-        // δ'(S'): outside metas adjacent in either direction (Equation 2).
-        let boundary = meta.meta_boundary(g, vs).len() as u64;
-        // R'(S'): outside metas feeding vertices *computed in this
-        // segment*. (Not the whole closure: a closure member computed in an
-        // earlier segment needed its operands then, not now — charging them
-        // again here would double-count loads and break soundness.)
-        let mut read_roots = std::collections::HashSet::new();
-        for &v in vs {
-            for &p in g.preds(v) {
-                if !in_closure[p.idx()] {
-                    read_roots.insert(meta.meta_of(p));
-                }
-            }
-        }
-        // W°(S'): metas whose root is computed in this segment and that are
-        // used after it (some member has a successor computed at position
-        // ≥ end) or contain an output (which must eventually be stored).
-        let end_pos = end as u64;
-        let mut write_roots = std::collections::HashSet::new();
-        for &v in vs {
-            let root = meta.root_vertex(meta.meta_of(v));
-            let rp = pos[root.idx()];
-            if rp == u64::MAX || rp < start as u64 || rp >= end_pos {
-                continue; // root is an input or computed in another segment
-            }
-            let needed_later = meta.members_of(root).into_iter().any(|member| {
-                g.is_output(member)
-                    || g.succs(member)
-                        .iter()
-                        .any(|&s| pos[s.idx()] != u64::MAX && pos[s.idx()] >= end_pos)
-            });
-            if needed_later {
-                write_roots.insert(meta.meta_of(root));
-            }
-        }
-        segments.push(SegmentReport {
-            start,
-            end,
-            counted: counted_n,
-            meta_boundary: boundary,
-            read_metas: read_roots.len() as u64,
-            write_metas: write_roots.len() as u64,
-            complete,
-        });
-    };
-
     for (i, &v) in order.iter().enumerate() {
-        segment_vertices.push(v);
         // Meta-closure: count every not-yet-counted counted-rank member of
         // v's meta-vertex.
         for w in meta.members_of(v) {
@@ -197,29 +222,20 @@ pub fn analyze(
             }
         }
         if counted_in_segment >= threshold {
-            flush(
-                start,
-                i + 1,
-                counted_in_segment,
-                &segment_vertices,
-                true,
-                &mut segments,
-            );
+            bounds.push((start, i + 1, counted_in_segment, true));
             start = i + 1;
             counted_in_segment = 0;
-            segment_vertices.clear();
         }
     }
-    if !segment_vertices.is_empty() {
-        flush(
-            start,
-            order.len(),
-            counted_in_segment,
-            &segment_vertices,
-            false,
-            &mut segments,
-        );
+    if start < order.len() {
+        bounds.push((start, order.len(), counted_in_segment, false));
     }
+
+    // Phase 2 (parallel): per-segment reports, merged in segment order.
+    let segments = pool.map(bounds.len(), |i| {
+        let b = bounds[i];
+        segment_report(g, meta, &pos, &order[b.0..b.1], b)
+    });
 
     let complete_segments = segments.iter().filter(|s| s.complete).count() as u64;
     let certified_io = segments
@@ -361,6 +377,22 @@ mod tests {
                     s.counted
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_analysis_is_thread_count_invariant() {
+        let (g, meta, counted) = setup(3, 1);
+        let order = orders::recursive_order(&g);
+        let serial = analyze(&g, &meta, &order, &counted, 2, 24, 1);
+        for threads in [2, 8] {
+            let pool = Pool::new(threads);
+            let par = analyze_with(&g, &meta, &order, &counted, 2, 24, 1, &pool);
+            assert_eq!(
+                serde_json::to_string(&serial).unwrap(),
+                serde_json::to_string(&par).unwrap(),
+                "threads={threads}"
+            );
         }
     }
 

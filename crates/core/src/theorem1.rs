@@ -124,12 +124,25 @@ pub fn certify(g: &Cdag, m: u64, order: &[VertexId]) -> Certificate {
 /// *this* order; the theorem quantifies over all orders, which the formula
 /// captures).
 pub fn certify_with(g: &Cdag, m: u64, order: &[VertexId], params: CertifyParams) -> Certificate {
+    certify_pooled(g, m, order, params, &mmio_parallel::Pool::serial())
+}
+
+/// [`certify_with`], with the per-segment analysis sharded over `pool`
+/// (identical certificate at any thread count — see
+/// [`segments::analyze_with`]).
+pub fn certify_pooled(
+    g: &Cdag,
+    m: u64,
+    order: &[VertexId],
+    params: CertifyParams,
+    pool: &mmio_parallel::Pool,
+) -> Certificate {
     let meta = MetaVertices::compute(g);
     let (k, k_feasible) = segments::choose_k(g, m, params.k_multiplier);
     let chosen = lemma1::select_input_disjoint(g, &meta, k);
     let counted = segments::counted_mask(g, k, &chosen);
     let threshold = params.threshold_multiplier * m;
-    let analysis = segments::analyze(g, &meta, order, &counted, m, threshold, k);
+    let analysis = segments::analyze_with(g, &meta, order, &counted, m, threshold, k, pool);
     let lemma1_target = if k + 2 <= g.r() {
         index::pow(g.base().b(), g.r() - k - 2)
     } else {

@@ -5,16 +5,34 @@
 //! dependencies) composed by the Lemma 4 concatenation scheme (each chain
 //! reused at most `3n₀^k` times), giving `2n₀^k · 3n₀^k = 6a^k`.
 
-use crate::chains::ChainRouter;
+use crate::chains::{ChainRouter, ChainScratch};
 use crate::deps::{unpack_entry, DepSide};
 use crate::lemma4::dependence_sequence;
-use crate::routing::{RoutingStats, VertexHitCounter};
-use mmio_cdag::{index, Cdag, Layer, MetaVertices, VertexId};
+use crate::routing::{PathArena, RoutingStats, VertexHitCounter};
+use mmio_cdag::{index, Cdag, MetaVertices, VertexId};
+use mmio_parallel::Pool;
 
 /// The Routing Theorem's routing for one `G_k`.
 pub struct InOutRouting<'g> {
     g: &'g Cdag,
     router: ChainRouter<'g>,
+}
+
+/// Reusable buffers for [`InOutRouting::path_with`]: the three constituent
+/// chains plus the chain router's own digit scratch.
+#[derive(Clone, Debug, Default)]
+pub struct RouteScratch {
+    chain: ChainScratch,
+    c1: Vec<VertexId>,
+    c2: Vec<VertexId>,
+    c3: Vec<VertexId>,
+}
+
+impl RouteScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> RouteScratch {
+        RouteScratch::default()
+    }
 }
 
 impl<'g> InOutRouting<'g> {
@@ -44,47 +62,136 @@ impl<'g> InOutRouting<'g> {
         out_row: u64,
         out_col: u64,
     ) -> Vec<VertexId> {
-        let seq = dependence_sequence(side, in_row, in_col, out_row, out_col);
-        let c1 = self.router.chain(&seq[0]);
-        let mut c2 = self.router.chain(&seq[1]);
-        let c3 = self.router.chain(&seq[2]);
-        debug_assert_eq!(c1.last(), c2.last(), "junction 1 mismatch");
-        debug_assert_eq!(c2.first(), c3.first(), "junction 2 mismatch");
-        let mut path = c1;
-        c2.reverse();
-        path.extend_from_slice(&c2[1..]);
-        path.extend_from_slice(&c3[1..]);
+        let mut scratch = RouteScratch::new();
+        let mut path = Vec::new();
+        self.path_with(
+            side,
+            in_row,
+            in_col,
+            out_row,
+            out_col,
+            &mut scratch,
+            &mut path,
+        );
         path
+    }
+
+    /// Allocation-free [`InOutRouting::path`]: writes the concatenated path
+    /// into `out` (cleared first), reusing `scratch` for the three chains.
+    #[allow(clippy::too_many_arguments)] // mirrors `path`, plus the two buffers
+    pub fn path_with(
+        &self,
+        side: DepSide,
+        in_row: u64,
+        in_col: u64,
+        out_row: u64,
+        out_col: u64,
+        scratch: &mut RouteScratch,
+        out: &mut Vec<VertexId>,
+    ) {
+        let seq = dependence_sequence(side, in_row, in_col, out_row, out_col);
+        self.router
+            .chain_with(&seq[0], &mut scratch.chain, &mut scratch.c1);
+        self.router
+            .chain_with(&seq[1], &mut scratch.chain, &mut scratch.c2);
+        self.router
+            .chain_with(&seq[2], &mut scratch.chain, &mut scratch.c3);
+        debug_assert_eq!(scratch.c1.last(), scratch.c2.last(), "junction 1 mismatch");
+        debug_assert_eq!(
+            scratch.c2.first(),
+            scratch.c3.first(),
+            "junction 2 mismatch"
+        );
+        out.clear();
+        out.extend_from_slice(&scratch.c1);
+        // Middle chain reversed, junction vertex (its last element, shared
+        // with c1's tail) deduplicated.
+        out.extend(scratch.c2[..scratch.c2.len() - 1].iter().rev());
+        out.extend_from_slice(&scratch.c3[1..]);
+    }
+
+    /// The number of paths in the full routing: `2a^k · a^k`.
+    pub fn n_paths(&self) -> u64 {
+        let ak = index::pow(self.g.base().a(), self.g.r());
+        2 * ak * ak
+    }
+
+    /// Enumerates the routing's paths for indices `range` (of `0..n_paths()`,
+    /// ordered side-major, then input entry, then output entry — the same
+    /// order [`InOutRouting::route_all`] streams them) and feeds each to `f`.
+    pub fn for_each_path_in(
+        &self,
+        range: std::ops::Range<u64>,
+        scratch: &mut RouteScratch,
+        mut f: impl FnMut(&[VertexId]),
+    ) {
+        let g = self.g;
+        let (n0, k) = (g.base().n0(), g.r());
+        let ak = index::pow(g.base().a(), k);
+        let mut path = Vec::with_capacity(6 * (k as usize + 1));
+        for p in range {
+            let side = if p < ak * ak { DepSide::A } else { DepSide::B };
+            let (in_entry, out_entry) = ((p / ak) % ak, p % ak);
+            let (ir, ic) = unpack_entry(in_entry, n0, k);
+            let (or_, oc) = unpack_entry(out_entry, n0, k);
+            self.path_with(side, ir, ic, or_, oc, scratch, &mut path);
+            f(&path);
+        }
     }
 
     /// Streams all `2a^k · a^k` input–output paths into `counter`.
     pub fn route_all(&self, counter: &mut VertexHitCounter<'_>) {
-        let g = self.g;
-        let (n0, k) = (g.base().n0(), g.r());
-        let ak = index::pow(g.base().a(), k);
-        for layer in [Layer::EncA, Layer::EncB] {
-            let side = match layer {
-                Layer::EncA => DepSide::A,
-                _ => DepSide::B,
-            };
-            for in_entry in 0..ak {
-                let (ir, ic) = unpack_entry(in_entry, n0, k);
-                for out_entry in 0..ak {
-                    let (or_, oc) = unpack_entry(out_entry, n0, k);
-                    counter.add_path(&self.path(side, ir, ic, or_, oc));
-                }
-            }
-        }
+        let mut scratch = RouteScratch::new();
+        self.for_each_path_in(0..self.n_paths(), &mut scratch, |path| {
+            counter.add_path(path);
+        });
+    }
+
+    /// Materializes the entire routing into a flat [`PathArena`] (the
+    /// memoized-class representation transported into Fact-1 copies).
+    pub fn collect_paths(&self) -> PathArena {
+        let paths = self.n_paths() as usize;
+        let mut arena = PathArena::with_capacity(paths, 6 * (self.g.r() as usize + 1) - 2);
+        let mut scratch = RouteScratch::new();
+        self.for_each_path_in(0..self.n_paths(), &mut scratch, |path| arena.push(path));
+        arena
     }
 
     /// Builds, verifies, and summarizes the routing, tracking meta-vertices.
     /// The returned stats satisfy `is_m_routing(theorem2_bound())` whenever
     /// the theorem's hypotheses hold.
     pub fn verify(&self) -> RoutingStats {
+        self.verify_with(&Pool::serial())
+    }
+
+    /// [`InOutRouting::verify`] sharded over `pool`: the path space is split
+    /// into contiguous chunks, each chunk hit-counted into its own
+    /// [`VertexHitCounter`], and the shards merged in fixed chunk order —
+    /// so the returned stats are identical to the serial path at any thread
+    /// count (hit counts are sums; merging is order-independent, and the
+    /// fixed order makes that visible in the code rather than argued).
+    pub fn verify_with(&self, pool: &Pool) -> RoutingStats {
         let meta = MetaVertices::compute(self.g);
-        let mut counter = VertexHitCounter::new(self.g, Some(&meta));
-        self.route_all(&mut counter);
-        counter.stats()
+        let n = self.n_paths();
+        if pool.threads() == 1 {
+            let mut counter = VertexHitCounter::new(self.g, Some(&meta));
+            self.route_all(&mut counter);
+            return counter.stats();
+        }
+        let chunks = (pool.threads() * 4).min(n.max(1) as usize);
+        let shards = pool.map(chunks, |c| {
+            let start = n * c as u64 / chunks as u64;
+            let end = n * (c as u64 + 1) / chunks as u64;
+            let mut counter = VertexHitCounter::new(self.g, Some(&meta));
+            let mut scratch = RouteScratch::new();
+            self.for_each_path_in(start..end, &mut scratch, |path| counter.add_path(path));
+            counter
+        });
+        let mut merged = VertexHitCounter::new(self.g, Some(&meta));
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        merged.stats()
     }
 }
 

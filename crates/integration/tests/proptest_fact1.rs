@@ -1,0 +1,79 @@
+//! Property tests for the Fact-1 isomorphism — the foundation the memoized
+//! routing-transport engine stands on: a routing constructed once on a
+//! standalone `G_k` is only valid inside every copy of `G_k` in `G_r` if
+//! `local_to_global`/`global_to_local` are mutually inverse, land on the
+//! middle `2(k+1)` levels, keep copies disjoint, and preserve edges.
+
+use mmio_algos::laderman::laderman;
+use mmio_algos::strassen::{strassen, winograd};
+use mmio_cdag::build::build_cdag;
+use mmio_cdag::fact1::Subcomputation;
+use mmio_cdag::Layer;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fact1_iso_roundtrips(
+        algo in 0usize..3,
+        r_raw in 1u32..4,
+        k_raw in 0u32..4,
+        prefix_raw in 0u64..1_000_000,
+        vseed in 0usize..1_000_000,
+    ) {
+        let base = match algo {
+            0 => strassen(),
+            1 => winograd(),
+            _ => laderman(), // n₀=3: exercises non-power-of-two digits
+        };
+        // laderman's G_3 is large; cap its depth to keep the sweep quick.
+        let r = if algo == 2 { r_raw.min(2) } else { r_raw };
+        let k = k_raw % (r + 1);
+        let g = build_cdag(&base, r);
+        let gk = build_cdag(&base, k);
+        let count = Subcomputation::count(&g, k);
+        let prefix = prefix_raw % count;
+        let sub = Subcomputation::new(&g, k, prefix);
+
+        // Round-trip every local vertex: encoding layers of both sides
+        // (including the meta-vertex copy-chain levels above rank r-k) and
+        // the decoding layer.
+        for lv in gk.vertices() {
+            let lref = gk.vref(lv);
+            let global = sub.local_to_global(lref);
+            prop_assert_eq!(sub.global_to_local(global).map(|vr| gk.id(vr)), Some(lv));
+            // The image sits on the middle 2(k+1) levels of G_r.
+            let vr = g.vref(global);
+            prop_assert_eq!(vr.layer, lref.layer);
+            match vr.layer {
+                Layer::EncA | Layer::EncB => {
+                    prop_assert_eq!(vr.level, r - k + lref.level);
+                }
+                Layer::Dec => prop_assert_eq!(vr.level, lref.level),
+            }
+            // Edges are preserved: every local predecessor maps to a global
+            // predecessor of the image (transported paths walk real edges).
+            for &lp in gk.preds(lv) {
+                let gp = sub.local_to_global(gk.vref(lp));
+                prop_assert!(
+                    g.preds(global).contains(&gp),
+                    "local edge lost in transport at case (algo={algo}, r={r}, k={k})"
+                );
+            }
+        }
+
+        // Copies are disjoint: a different prefix rejects this copy's
+        // vertices.
+        if count > 1 {
+            let other = Subcomputation::new(&g, k, (prefix + 1) % count);
+            let lv = mmio_cdag::VertexId((vseed % gk.n_vertices()) as u32);
+            let global = sub.local_to_global(gk.vref(lv));
+            prop_assert!(other.global_to_local(global).is_none());
+        }
+
+        // Inverse direction on a sampled global vertex of the copy.
+        let vs = sub.vertices(&gk);
+        let v = vs[vseed % vs.len()];
+        let back = sub.global_to_local(v).expect("copy member");
+        prop_assert_eq!(sub.local_to_global(back), v);
+    }
+}

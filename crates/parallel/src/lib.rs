@@ -39,5 +39,7 @@ pub mod bandwidth;
 pub mod caps;
 pub mod distsim;
 pub mod executor;
+pub mod pool;
 
 pub use bandwidth::BandwidthReport;
+pub use pool::Pool;

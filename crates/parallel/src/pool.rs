@@ -1,0 +1,271 @@
+//! A work-stealing thread pool for deterministic fan-out of indexed work.
+//!
+//! The workspace's verification workloads — per-copy routing transport,
+//! hit-count verification, segment audits, registry-wide static analysis —
+//! are all *indexed* families of independent tasks `f(0), …, f(n-1)`. This
+//! pool runs them on scoped worker threads: the index space is split into
+//! per-worker ranges, each worker drains its own range through an atomic
+//! cursor, and a worker whose range is exhausted *steals* indices from the
+//! most-loaded remaining range. Results are merged back **in index order**,
+//! so the output of [`Pool::map`] is byte-for-byte identical to the serial
+//! loop regardless of thread count, interleaving, or which worker ran which
+//! index — the determinism contract the golden tests and the CI
+//! `bench-smoke` job enforce.
+//!
+//! Thread count resolution (used by the `mmio` CLI's `--threads` and every
+//! experiment binary): explicit argument > `MMIO_THREADS` env var >
+//! `std::thread::available_parallelism()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width thread pool. `threads == 1` runs every task inline on the
+/// caller's thread with no synchronization at all, so the serial path is
+/// not merely "parallel with one worker" but literally the sequential loop.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+/// One worker's claimable range of the index space: `[cursor, end)`.
+struct Range {
+    cursor: AtomicUsize,
+    end: usize,
+}
+
+impl Pool {
+    /// A pool with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The strictly sequential pool.
+    pub fn serial() -> Pool {
+        Pool::new(1)
+    }
+
+    /// Resolves the thread count from the environment: `explicit` if given,
+    /// else the `MMIO_THREADS` env var, else
+    /// `std::thread::available_parallelism()`.
+    pub fn from_env(explicit: Option<usize>) -> Pool {
+        let threads = explicit
+            .or_else(|| {
+                std::env::var("MMIO_THREADS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+            })
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Pool::new(threads)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every index in `0..n` and returns the results in
+    /// index order. Deterministic: the returned vector never depends on
+    /// scheduling (only on `f` itself being a function of its index).
+    pub fn map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return (0..n).map(f).collect();
+        }
+
+        // Split 0..n into `workers` near-equal contiguous ranges.
+        let ranges: Vec<Range> = (0..workers)
+            .map(|w| {
+                let start = n * w / workers;
+                let end = n * (w + 1) / workers;
+                Range {
+                    cursor: AtomicUsize::new(start),
+                    end,
+                }
+            })
+            .collect();
+        let ranges = &ranges;
+        let f = &f;
+
+        let mut tagged: Vec<(usize, T)> = crossbeam::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move |_| {
+                        let mut out: Vec<(usize, T)> = Vec::new();
+                        // Drain the worker's own range, then steal.
+                        drain(&ranges[w], f, &mut out);
+                        loop {
+                            // Steal from the victim with the most work left.
+                            let victim = ranges
+                                .iter()
+                                .max_by_key(|r| {
+                                    r.end.saturating_sub(r.cursor.load(Ordering::Relaxed))
+                                })
+                                .expect("at least one range");
+                            if !drain_one(victim, f, &mut out) {
+                                break;
+                            }
+                            drain(victim, f, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("pool worker panicked"))
+                .collect()
+        })
+        .expect("pool scope failed");
+
+        debug_assert_eq!(tagged.len(), n, "every index claimed exactly once");
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Splits `n` items into at most `chunks_per_worker · threads` contiguous
+    /// chunks (each a `start..end` range), maps every chunk through `f` on
+    /// the pool, and folds the chunk results **in chunk order** into `init`.
+    ///
+    /// This is the sharded-counter pattern: each chunk accumulates into its
+    /// own counter, and because the fold visits chunks in a fixed order the
+    /// merged result is independent of scheduling. With `threads == 1` the
+    /// whole computation degenerates to one chunk folded serially.
+    pub fn map_chunks<T, F, M>(&self, n: usize, chunks_per_worker: usize, f: F, merge: M) -> T
+    where
+        T: Send + Default,
+        F: Fn(std::ops::Range<usize>) -> T + Sync,
+        M: FnMut(T, T) -> T,
+    {
+        if n == 0 {
+            return T::default();
+        }
+        let chunks = (self.threads * chunks_per_worker.max(1)).min(n).max(1);
+        let results = self.map(chunks, |c| {
+            let start = n * c / chunks;
+            let end = n * (c + 1) / chunks;
+            f(start..end)
+        });
+        results.into_iter().fold(T::default(), merge)
+    }
+}
+
+/// Claims and runs every remaining index of `range`.
+fn drain<T, F: Fn(usize) -> T>(range: &Range, f: &F, out: &mut Vec<(usize, T)>) {
+    while drain_one(range, f, out) {}
+}
+
+/// Claims one index of `range` if any remain; returns whether it did.
+fn drain_one<T, F: Fn(usize) -> T>(range: &Range, f: &F, out: &mut Vec<(usize, T)>) -> bool {
+    let i = range.cursor.fetch_add(1, Ordering::Relaxed);
+    if i < range.end {
+        out.push((i, f(i)));
+        true
+    } else {
+        // Undo the overshoot so `end - cursor` stays a sane "work left"
+        // estimate for victim selection (saturating, so benign if several
+        // workers overshoot concurrently).
+        range.cursor.fetch_sub(1, Ordering::Relaxed);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_is_identity_ordered() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_empty_and_tiny() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.map(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, |i| i + 7), vec![7]);
+        assert_eq!(pool.map(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        let pool = Pool::new(8);
+        pool.map(1000, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn stealing_covers_skewed_work() {
+        // Front-loaded work: the first quarter of the indices are slow, so
+        // workers that finish their own range must steal to help.
+        let pool = Pool::new(4);
+        let out = pool.map(64, |i| {
+            if i < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_chunks_merges_in_order() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let total = pool.map_chunks(
+                1000,
+                4,
+                |range| range.map(|i| i as u64).sum::<u64>(),
+                |a: u64, b: u64| a + b,
+            );
+            assert_eq!(total, 999 * 1000 / 2);
+        }
+    }
+
+    #[test]
+    fn map_chunks_concatenation_is_deterministic() {
+        // A non-commutative merge (concatenation) still gives the serial
+        // answer because chunks fold in fixed order.
+        let serial: Vec<usize> = (0..257).collect();
+        for threads in [2, 5, 8] {
+            let pool = Pool::new(threads);
+            let out = pool.map_chunks(
+                257,
+                3,
+                |range| range.collect::<Vec<usize>>(),
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            );
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn from_env_explicit_wins() {
+        assert_eq!(Pool::from_env(Some(3)).threads(), 3);
+        assert!(Pool::from_env(None).threads() >= 1);
+    }
+
+    #[test]
+    fn zero_threads_clamped() {
+        assert_eq!(Pool::new(0).threads(), 1);
+    }
+}
