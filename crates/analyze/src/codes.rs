@@ -5,7 +5,10 @@
 //!
 //! - `MMIO-Axxx` — CDAG structure lints ([`crate::cdag`]);
 //! - `MMIO-Sxxx` — schedule legality ([`crate::schedule`]);
-//! - `MMIO-Rxxx` — routing certificates ([`crate::routing`]).
+//! - `MMIO-Rxxx` — routing certificates ([`crate::routing`]);
+//! - `MMIO-Cxxx` — concurrency soundness (sync traces and the `mmio-check`
+//!   model checker);
+//! - `MMIO-Dxxx` — distributed-run audits ([`crate::distsim`]).
 
 /// Cycle detected: the vertex ordering admits no topological order.
 pub const CDAG_CYCLE: &str = "MMIO-A001";
@@ -54,6 +57,35 @@ pub const ROUTE_BAD_PATH: &str = "MMIO-R003";
 /// The certificate contains the wrong number of paths.
 pub const ROUTE_PATH_COUNT: &str = "MMIO-R004";
 
+/// Data race: two threads access the same location, at least one writes,
+/// and no happens-before edge orders them.
+pub const CONC_DATA_RACE: &str = "MMIO-C001";
+/// Lost update: an index was claimed by two workers (or never claimed),
+/// so the parallel output diverges from serial.
+pub const CONC_LOST_UPDATE: &str = "MMIO-C002";
+/// Double fill: the same memo class was built and inserted twice.
+pub const CONC_DOUBLE_FILL: &str = "MMIO-C003";
+/// The bounded model checker found a schedule whose output differs from
+/// the serial execution (determinism contract violated).
+pub const CONC_SCHEDULE_DIVERGES: &str = "MMIO-C004";
+/// The bounded model checker found a schedule that deadlocks (some thread
+/// neither finished nor has an enabled step).
+pub const CONC_DEADLOCK: &str = "MMIO-C005";
+
+/// Conservation violated: `total_words`, `Σ sent`, `Σ received`, or the
+/// per-rank critical-path recount disagree with the run's claims.
+pub const DIST_CONSERVATION: &str = "MMIO-D001";
+/// A value was sent or consumed before it was available at its owner.
+pub const DIST_NOT_AVAILABLE: &str = "MMIO-D002";
+/// Assignment totality violated: a vertex executed on the wrong rank,
+/// twice, or never.
+pub const DIST_ASSIGNMENT: &str = "MMIO-D003";
+/// A processor's cache occupancy exceeded `M` (or evict/insert events are
+/// inconsistent with cache membership).
+pub const DIST_OVER_CAPACITY: &str = "MMIO-D004";
+/// A receive event has no outstanding matching send.
+pub const DIST_UNMATCHED_RECV: &str = "MMIO-D005";
+
 /// `(code, one-line description)` for every registered code, in order —
 /// the source of the documentation table in `DESIGN.md`.
 pub const TABLE: &[(&str, &str)] = &[
@@ -86,6 +118,28 @@ pub const TABLE: &[(&str, &str)] = &[
     ),
     (ROUTE_BAD_PATH, "path traverses a non-edge or is empty"),
     (ROUTE_PATH_COUNT, "wrong number of paths in certificate"),
+    (CONC_DATA_RACE, "unordered conflicting accesses (data race)"),
+    (
+        CONC_LOST_UPDATE,
+        "index claimed twice or never (lost update)",
+    ),
+    (CONC_DOUBLE_FILL, "memo class filled twice"),
+    (
+        CONC_SCHEDULE_DIVERGES,
+        "a schedule's output differs from serial",
+    ),
+    (CONC_DEADLOCK, "a schedule deadlocks"),
+    (
+        DIST_CONSERVATION,
+        "send/recv/word totals violate conservation",
+    ),
+    (DIST_NOT_AVAILABLE, "value used before it was available"),
+    (
+        DIST_ASSIGNMENT,
+        "vertex executed on wrong rank, twice, or never",
+    ),
+    (DIST_OVER_CAPACITY, "local cache occupancy exceeds M"),
+    (DIST_UNMATCHED_RECV, "receive without a matching send"),
 ];
 
 #[cfg(test)]

@@ -54,6 +54,10 @@ pub enum Span {
         /// Row index within it.
         row: usize,
     },
+    /// A trace-local thread (sync-trace diagnostics).
+    Thread(u32),
+    /// A distributed-machine rank (distsim audit diagnostics).
+    Proc(u32),
     /// The artifact as a whole.
     Global,
 }
@@ -65,6 +69,8 @@ impl fmt::Display for Span {
             Span::Step(s) => write!(f, "step {s}"),
             Span::Path(p) => write!(f, "path {p}"),
             Span::Row { matrix, row } => write!(f, "{matrix}[{row}]"),
+            Span::Thread(t) => write!(f, "thread {t}"),
+            Span::Proc(p) => write!(f, "proc {p}"),
             Span::Global => f.write_str("global"),
         }
     }
@@ -87,6 +93,8 @@ impl Serialize for Span {
                 ("matrix".to_string(), Value::Str(matrix.to_string())),
                 ("row".to_string(), Value::UInt(row as u64)),
             ]),
+            Span::Thread(t) => kv("thread", "index", u64::from(t)),
+            Span::Proc(p) => kv("proc", "rank", u64::from(p)),
             Span::Global => {
                 Value::Object(vec![("kind".to_string(), Value::Str("global".to_string()))])
             }

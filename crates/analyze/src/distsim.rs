@@ -1,0 +1,391 @@
+//! Distributed-run auditing: independent re-verification of a traced
+//! `mmio_parallel::distsim` execution (`MMIO-Dxxx`).
+//!
+//! The simulator *claims* totals — words moved, per-rank sent/received
+//! counters, critical-path and local-I/O maxima. This pass trusts none of
+//! them: it replays the recorded [`DistEvent`] stream against the CDAG and
+//! the assignment, rebuilding every processor's cache and every counter
+//! from scratch, and reports any disagreement as a diagnostic. Double-entry
+//! bookkeeping for the distributed machine, in the same spirit as the
+//! schedule and routing audits:
+//!
+//! - **`MMIO-D001`** conservation: `total_words == Σ sent == Σ received`,
+//!   per-rank counters match the event stream, recounted critical path and
+//!   local-I/O maxima match the claims;
+//! - **`MMIO-D002`** availability: a value is sent only after its owner
+//!   computed it (inputs are born available), and every compute finds its
+//!   operands resident in the computing rank's cache;
+//! - **`MMIO-D003`** assignment totality: every non-input vertex executes
+//!   exactly once, on its assigned rank;
+//! - **`MMIO-D004`** capacity: no cache ever holds more than `M` values,
+//!   and evict/insert events stay consistent with cache membership;
+//! - **`MMIO-D005`** matching: every receive pairs with an outstanding
+//!   send of the same value on the same channel.
+
+use crate::codes;
+use crate::diag::{Report, Severity, Span};
+use mmio_cdag::{Cdag, VertexId};
+use mmio_parallel::assign::Assignment;
+use mmio_parallel::distsim::{DistEvent, DistTrace};
+use std::collections::HashMap;
+
+/// Counters from one distsim audit (alongside the diagnostics pushed into
+/// the report).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DistAudit {
+    /// Events replayed.
+    pub events: usize,
+    /// Compute events seen.
+    pub execs: u64,
+    /// Words recounted from matched send/recv pairs.
+    pub words: u64,
+    /// Maximum cache occupancy observed on any rank.
+    pub max_occupancy: usize,
+    /// Whether the audit found no errors.
+    pub ok: bool,
+}
+
+/// Replays `trace` against `g` and `assignment`, pushing any `MMIO-Dxxx`
+/// finding into `report`. See the module docs for the checked properties.
+pub fn audit_dist_trace(
+    g: &Cdag,
+    assignment: &Assignment,
+    trace: &DistTrace,
+    report: &mut Report,
+) -> DistAudit {
+    let p = trace.p as usize;
+    let n = g.n_vertices();
+    let mut audit = DistAudit {
+        events: trace.events.len(),
+        ..DistAudit::default()
+    };
+    let before = report.error_count();
+
+    let is_input = |v: u32| g.preds(VertexId(v)).is_empty();
+    let bad_vertex = |v: u32| (v as usize) >= n;
+    let bad_proc = |r: u32| (r as usize) >= p;
+
+    // Replay state, rebuilt from nothing.
+    let mut resident = vec![vec![false; n]; p];
+    let mut occupancy = vec![0usize; p];
+    let mut computed = vec![false; n];
+    let mut exec_on: Vec<Option<u32>> = vec![None; n];
+    let mut in_flight: HashMap<(u32, u32, u32), u64> = HashMap::new();
+    let mut sent = vec![0u64; p];
+    let mut received = vec![0u64; p];
+    let mut local_io = vec![0u64; p];
+
+    for (i, &e) in trace.events.iter().enumerate() {
+        let step = Span::Step(i);
+        // Malformed coordinates make the rest of the replay meaningless
+        // for this event; report and skip it.
+        let (procs, vs): (Vec<u32>, Vec<u32>) = match e {
+            DistEvent::Evict { proc, v } | DistEvent::Insert { proc, v, .. } => {
+                (vec![proc], vec![v])
+            }
+            DistEvent::Exec { proc, v } => (vec![proc], vec![v]),
+            DistEvent::Send { from, to, v } => (vec![from, to], vec![v]),
+            DistEvent::Recv { to, from, v } => (vec![to, from], vec![v]),
+        };
+        if procs.iter().any(|&r| bad_proc(r)) || vs.iter().any(|&v| bad_vertex(v)) {
+            report.push(
+                codes::DIST_ASSIGNMENT,
+                Severity::Error,
+                step,
+                format!("event {e:?} names a rank >= {p} or vertex >= {n}"),
+            );
+            continue;
+        }
+        match e {
+            DistEvent::Evict { proc, v } => {
+                let (proc_u, v_u) = (proc as usize, v as usize);
+                if !resident[proc_u][v_u] {
+                    report.push(
+                        codes::DIST_OVER_CAPACITY,
+                        Severity::Error,
+                        Span::Proc(proc),
+                        format!("evict of v{v}, which is not in rank {proc}'s cache"),
+                    );
+                } else {
+                    resident[proc_u][v_u] = false;
+                    occupancy[proc_u] -= 1;
+                }
+            }
+            DistEvent::Insert { proc, v, charged } => {
+                let (proc_u, v_u) = (proc as usize, v as usize);
+                if resident[proc_u][v_u] {
+                    report.push(
+                        codes::DIST_OVER_CAPACITY,
+                        Severity::Error,
+                        Span::Proc(proc),
+                        format!("insert of v{v}, already in rank {proc}'s cache"),
+                    );
+                } else {
+                    resident[proc_u][v_u] = true;
+                    occupancy[proc_u] += 1;
+                    audit.max_occupancy = audit.max_occupancy.max(occupancy[proc_u]);
+                    if occupancy[proc_u] > trace.m {
+                        report.push_with_hint(
+                            codes::DIST_OVER_CAPACITY,
+                            Severity::Error,
+                            Span::Proc(proc),
+                            format!(
+                                "rank {proc} holds {} values, capacity M = {}",
+                                occupancy[proc_u], trace.m
+                            ),
+                            "evict before inserting",
+                        );
+                    }
+                }
+                if charged {
+                    local_io[proc_u] += 1;
+                }
+            }
+            DistEvent::Send { from, to, v } => {
+                if !is_input(v) && !computed[v as usize] {
+                    report.push(
+                        codes::DIST_NOT_AVAILABLE,
+                        Severity::Error,
+                        Span::Proc(from),
+                        format!("rank {from} sends v{v} before it was computed"),
+                    );
+                }
+                *in_flight.entry((from, to, v)).or_insert(0) += 1;
+                sent[from as usize] += 1;
+            }
+            DistEvent::Recv { to, from, v } => {
+                match in_flight.get_mut(&(from, to, v)) {
+                    Some(c) if *c > 0 => {
+                        *c -= 1;
+                        audit.words += 1;
+                    }
+                    _ => {
+                        report.push_with_hint(
+                            codes::DIST_UNMATCHED_RECV,
+                            Severity::Error,
+                            Span::Proc(to),
+                            format!("rank {to} receives v{v} from {from} with no outstanding send"),
+                            "every receive must pair with a prior send on the same channel",
+                        );
+                    }
+                }
+                received[to as usize] += 1;
+            }
+            DistEvent::Exec { proc, v } => {
+                audit.execs += 1;
+                let v_u = v as usize;
+                if is_input(v) {
+                    report.push(
+                        codes::DIST_ASSIGNMENT,
+                        Severity::Error,
+                        Span::Vertex(v),
+                        format!("input v{v} cannot be computed"),
+                    );
+                    continue;
+                }
+                if assignment.of(VertexId(v)) != proc {
+                    report.push(
+                        codes::DIST_ASSIGNMENT,
+                        Severity::Error,
+                        Span::Vertex(v),
+                        format!(
+                            "v{v} executed on rank {proc}, assigned to rank {}",
+                            assignment.of(VertexId(v))
+                        ),
+                    );
+                }
+                if let Some(prev) = exec_on[v_u] {
+                    report.push(
+                        codes::DIST_ASSIGNMENT,
+                        Severity::Error,
+                        Span::Vertex(v),
+                        format!("v{v} executed twice (ranks {prev} and {proc})"),
+                    );
+                }
+                for &op in g.preds(VertexId(v)) {
+                    if !resident[proc as usize][op.idx()] {
+                        report.push(
+                            codes::DIST_NOT_AVAILABLE,
+                            Severity::Error,
+                            Span::Vertex(v),
+                            format!("operand {op:?} of v{v} not resident on rank {proc}"),
+                        );
+                    }
+                }
+                computed[v_u] = true;
+                exec_on[v_u] = Some(proc);
+            }
+        }
+    }
+
+    // Terminal checks: totality and conservation.
+    for v in g.vertices() {
+        if !g.preds(v).is_empty() && exec_on[v.idx()].is_none() {
+            report.push(
+                codes::DIST_ASSIGNMENT,
+                Severity::Error,
+                Span::Vertex(v.idx() as u32),
+                format!("non-input {v:?} never executed"),
+            );
+        }
+    }
+    let total_sent: u64 = sent.iter().sum();
+    let total_received: u64 = received.iter().sum();
+    let mut conserve = |what: &str, got: u64, claimed: u64| {
+        if got != claimed {
+            report.push(
+                codes::DIST_CONSERVATION,
+                Severity::Error,
+                Span::Global,
+                format!("{what}: recounted {got}, run claims {claimed}"),
+            );
+        }
+    };
+    conserve(
+        "total words vs sends",
+        total_sent,
+        trace.claimed.total_words,
+    );
+    conserve(
+        "total words vs receives",
+        total_received,
+        trace.claimed.total_words,
+    );
+    conserve(
+        "critical path",
+        sent.iter()
+            .zip(&received)
+            .map(|(&s, &r)| s + r)
+            .max()
+            .unwrap_or(0),
+        trace.claimed.critical_path_words,
+    );
+    conserve(
+        "max local I/O",
+        local_io.iter().copied().max().unwrap_or(0),
+        trace.claimed.max_local_io,
+    );
+    conserve(
+        "total local I/O",
+        local_io.iter().sum(),
+        trace.claimed.total_local_io,
+    );
+    for r in 0..p {
+        if sent[r] != trace.sent[r] || received[r] != trace.received[r] {
+            report.push(
+                codes::DIST_CONSERVATION,
+                Severity::Error,
+                Span::Proc(r as u32),
+                format!(
+                    "rank {r} counters: recounted sent {} / received {}, run claims {} / {}",
+                    sent[r], received[r], trace.sent[r], trace.received[r]
+                ),
+            );
+        }
+    }
+
+    audit.ok = report.error_count() == before;
+    audit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_algos::strassen::strassen;
+    use mmio_cdag::build::build_cdag;
+    use mmio_parallel::assign::{by_top_subproblem, cyclic_per_rank};
+    use mmio_parallel::distsim::simulate_traced;
+    use mmio_pebble::orders::recursive_order;
+
+    fn traced(p: u32, m: usize) -> (Cdag, Assignment, DistTrace) {
+        let g = build_cdag(&strassen(), 2);
+        let order = recursive_order(&g);
+        let a = by_top_subproblem(&g, p);
+        let t = simulate_traced(&g, &a, &order, m);
+        (g, a, t)
+    }
+
+    #[test]
+    fn clean_run_audits_clean() {
+        let (g, a, t) = traced(7, 16);
+        let mut report = Report::new();
+        let audit = audit_dist_trace(&g, &a, &t, &mut report);
+        assert!(audit.ok, "{:?}", report.diagnostics);
+        assert_eq!(audit.words, t.claimed.total_words);
+        assert!(audit.max_occupancy <= 16);
+        assert!(audit.execs > 0);
+    }
+
+    #[test]
+    fn cyclic_assignment_audits_clean_too() {
+        let g = build_cdag(&strassen(), 2);
+        let order = recursive_order(&g);
+        let a = cyclic_per_rank(&g, 5);
+        let t = simulate_traced(&g, &a, &order, 16);
+        let mut report = Report::new();
+        assert!(audit_dist_trace(&g, &a, &t, &mut report).ok);
+    }
+
+    #[test]
+    fn dropped_recv_fires_conservation() {
+        let (g, a, mut t) = traced(7, 16);
+        let pos = t
+            .events
+            .iter()
+            .position(|e| matches!(e, DistEvent::Recv { .. }))
+            .expect("some communication");
+        t.events.remove(pos);
+        let mut report = Report::new();
+        let audit = audit_dist_trace(&g, &a, &t, &mut report);
+        assert!(!audit.ok);
+        assert!(report.has_code(codes::DIST_CONSERVATION));
+    }
+
+    #[test]
+    fn forged_recv_fires_unmatched() {
+        let (g, a, mut t) = traced(7, 16);
+        t.events.push(DistEvent::Recv {
+            to: 0,
+            from: 1,
+            v: 0,
+        });
+        let mut report = Report::new();
+        audit_dist_trace(&g, &a, &t, &mut report);
+        assert!(report.has_code(codes::DIST_UNMATCHED_RECV));
+    }
+
+    #[test]
+    fn dropped_exec_fires_assignment() {
+        let (g, a, mut t) = traced(7, 16);
+        let pos = t
+            .events
+            .iter()
+            .position(|e| matches!(e, DistEvent::Exec { .. }))
+            .expect("some compute");
+        t.events.remove(pos);
+        let mut report = Report::new();
+        audit_dist_trace(&g, &a, &t, &mut report);
+        assert!(report.has_code(codes::DIST_ASSIGNMENT));
+    }
+
+    #[test]
+    fn shrunk_capacity_fires_over_capacity() {
+        let (g, a, mut t) = traced(7, 16);
+        // The run legitimately used up to 16 slots; claiming M = 2 after
+        // the fact must be caught by occupancy recounting.
+        t.m = 2;
+        let mut report = Report::new();
+        let audit = audit_dist_trace(&g, &a, &t, &mut report);
+        assert!(report.has_code(codes::DIST_OVER_CAPACITY));
+        assert!(audit.max_occupancy > 2);
+    }
+
+    #[test]
+    fn inflated_claim_fires_conservation() {
+        let (g, a, mut t) = traced(7, 16);
+        t.claimed.total_words += 1;
+        let mut report = Report::new();
+        audit_dist_trace(&g, &a, &t, &mut report);
+        assert!(report.has_code(codes::DIST_CONSERVATION));
+    }
+}

@@ -8,6 +8,11 @@
 //! | `MMIO-Axxx` | CDAG structure lints (acyclicity witness, rank consistency, dangling/unreachable, copy rules, Fact 1, single-use, tensor identity) | [`cdag`] |
 //! | `MMIO-Sxxx` | schedule legality (operand residency, cache occupancy ≤ M, terminal conditions) | [`schedule`] |
 //! | `MMIO-Rxxx` | routing certificate auditing (path validity, per-vertex and per-meta hit bounds) | [`routing`] |
+//! | `MMIO-Dxxx` | distributed-run auditing (send/recv conservation, operand availability, assignment totality, cache occupancy ≤ M) | [`distsim`] |
+//!
+//! A fifth family, `MMIO-Cxxx` (concurrency soundness), shares this crate's
+//! diagnostic framework but is emitted by `mmio-check`'s happens-before
+//! race detector and bounded model checker.
 //!
 //! The passes are *re-verifiers*: they share no code with the constructors
 //! they audit (`mmio_cdag::MetaVertices`, `mmio_pebble::sim`, the
@@ -35,12 +40,14 @@
 pub mod cdag;
 pub mod codes;
 pub mod diag;
+pub mod distsim;
 pub mod facts;
 pub mod routing;
 pub mod schedule;
 
 pub use cdag::{analyze_base_at, audit_fact1, lint_base, lint_facts, CdagAudit};
 pub use diag::{Diagnostic, Report, Severity, Span};
+pub use distsim::{audit_dist_trace, DistAudit};
 pub use facts::GraphFacts;
 pub use routing::{
     audit_routing, audit_routing_paths, RoutingAudit, RoutingAuditor, RoutingCertificate,

@@ -1,0 +1,371 @@
+//! Lowering recorded sync traces to the race detector's op language, plus
+//! direct semantic checks on the trace itself.
+//!
+//! A [`SyncTrace`](mmio_parallel::events::SyncTrace) records what the
+//! instrumented pool and memo *did*; the happens-before detector wants an
+//! abstract sequence of acquires, releases, atomic RMWs, and plain shared
+//! accesses. The mapping mirrors the real synchronization:
+//!
+//! - a cursor `fetch_add`/`fetch_sub` is an [`OpKind::Rmw`] on that range's
+//!   cursor object; a *hit* additionally writes the claimed result slot
+//!   ([`Loc::Item`]) — the worker computes `f(i)` into memory only it may
+//!   touch;
+//! - `WorkerDone`/`WorkerJoin` are the release/acquire halves of
+//!   `thread::join` on a per-worker handoff object — the only edge that
+//!   publishes result slots to the caller;
+//! - after joining all workers, the caller *reads* every claimed slot (the
+//!   merge), which is exactly where a missing join materializes as a race;
+//! - `MemoLock`/`MemoUnlock` are acquire/release on the memo mutex;
+//!   `MemoFill`/`MemoHit` write/read the per-key entry ([`Loc::Memo`]).
+//!
+//! [`scan_trace`] separately checks two properties that need no clocks,
+//! only counting: every index claimed at most once (`MMIO-C002` otherwise)
+//! and every memo key filled at most once (`MMIO-C003`).
+
+use mmio_analyze::{codes, Report, Severity, Span};
+use mmio_parallel::events::{SyncEvent, SyncTrace};
+use std::collections::HashMap;
+
+/// A shared location the detector tracks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// Result slot of index `i` in a `Pool::map` output.
+    Item(u64),
+    /// The memo entry for a hashed `(algorithm, k)` key.
+    Memo(u64),
+}
+
+/// Whether an access reads or writes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read of a shared location.
+    Read,
+    /// Write of a shared location.
+    Write,
+}
+
+/// The detector's op language.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Acquire on a sync object.
+    Acquire(u64),
+    /// Release on a sync object.
+    Release(u64),
+    /// Atomic read-modify-write (acquire + release) on a sync object.
+    Rmw(u64),
+    /// Plain access to a shared location.
+    Access(Loc, AccessKind),
+}
+
+/// One lowered operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Op {
+    /// Trace-local thread that performed it.
+    pub thread: u32,
+    /// What it did.
+    pub kind: OpKind,
+}
+
+/// Sync-object id spaces (disjoint by construction).
+const CURSOR_BASE: u64 = 1 << 32;
+const JOIN_BASE: u64 = 2 << 32;
+const MEMO_MUTEX: u64 = 3 << 32;
+
+/// Lowers a recorded trace to the detector's op language (see the module
+/// docs for the mapping).
+pub fn lower(trace: &SyncTrace) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(trace.len() + 16);
+    let mut claimed: Vec<u64> = Vec::new();
+    let mut joiner: Option<u32> = None;
+    for e in &trace.events {
+        let t = e.thread;
+        let push = |ops: &mut Vec<Op>, kind| ops.push(Op { thread: t, kind });
+        match e.event {
+            SyncEvent::CursorFetchAdd {
+                range,
+                claimed: i,
+                hit,
+            } => {
+                push(&mut ops, OpKind::Rmw(CURSOR_BASE + u64::from(range)));
+                if hit {
+                    push(&mut ops, OpKind::Access(Loc::Item(i), AccessKind::Write));
+                    claimed.push(i);
+                }
+            }
+            SyncEvent::CursorUndo { range } => {
+                push(&mut ops, OpKind::Rmw(CURSOR_BASE + u64::from(range)));
+            }
+            SyncEvent::StealSelect { .. } => {
+                // Relaxed loads of the cursors: no HB edge, no shared
+                // non-atomic access. Nothing to lower.
+            }
+            SyncEvent::WorkerDone { worker } => {
+                push(&mut ops, OpKind::Release(JOIN_BASE + u64::from(worker)));
+            }
+            SyncEvent::WorkerJoin { worker } => {
+                push(&mut ops, OpKind::Acquire(JOIN_BASE + u64::from(worker)));
+                joiner = Some(t);
+            }
+            SyncEvent::ChunkMerge { chunk } => {
+                push(&mut ops, OpKind::Access(Loc::Item(chunk), AccessKind::Read));
+            }
+            SyncEvent::MemoLock => push(&mut ops, OpKind::Acquire(MEMO_MUTEX)),
+            SyncEvent::MemoUnlock => push(&mut ops, OpKind::Release(MEMO_MUTEX)),
+            SyncEvent::MemoHit { key } => {
+                push(&mut ops, OpKind::Access(Loc::Memo(key), AccessKind::Read));
+            }
+            SyncEvent::MemoFill { key } => {
+                push(&mut ops, OpKind::Access(Loc::Memo(key), AccessKind::Write));
+            }
+        }
+    }
+    // The caller's merge: after the joins, every claimed slot is read by
+    // the joining thread. (map_chunks traces additionally carry explicit
+    // ChunkMerge reads; duplicates are harmless.)
+    if let Some(t) = joiner {
+        claimed.sort_unstable();
+        claimed.dedup();
+        for i in claimed {
+            ops.push(Op {
+                thread: t,
+                kind: OpKind::Access(Loc::Item(i), AccessKind::Read),
+            });
+        }
+    }
+    ops
+}
+
+/// Counting results of [`scan_trace`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceScan {
+    /// Successful cursor claims (hits).
+    pub claims: u64,
+    /// Indices claimed more than once.
+    pub duplicate_claims: u64,
+    /// Memo fills.
+    pub fills: u64,
+    /// Keys filled more than once.
+    pub double_fills: u64,
+}
+
+/// Checks claim-uniqueness (`MMIO-C002`) and fill-uniqueness (`MMIO-C003`)
+/// by direct counting over the trace.
+pub fn scan_trace(trace: &SyncTrace, report: &mut Report) -> TraceScan {
+    let mut scan = TraceScan::default();
+    let mut claims: HashMap<(u32, u64), u32> = HashMap::new();
+    let mut fills: HashMap<u64, u32> = HashMap::new();
+    for e in &trace.events {
+        match e.event {
+            SyncEvent::CursorFetchAdd {
+                range,
+                claimed,
+                hit: true,
+            } => {
+                scan.claims += 1;
+                let c = claims.entry((range, claimed)).or_insert(0);
+                *c += 1;
+                if *c == 2 {
+                    scan.duplicate_claims += 1;
+                    report.push_with_hint(
+                        codes::CONC_LOST_UPDATE,
+                        Severity::Error,
+                        Span::Thread(e.thread),
+                        format!("index {claimed} of range {range} was claimed twice"),
+                        "a duplicated claim overwrites another worker's result (lost update)",
+                    );
+                }
+            }
+            SyncEvent::MemoFill { key } => {
+                scan.fills += 1;
+                let c = fills.entry(key).or_insert(0);
+                *c += 1;
+                if *c == 2 {
+                    scan.double_fills += 1;
+                    report.push_with_hint(
+                        codes::CONC_DOUBLE_FILL,
+                        Severity::Error,
+                        Span::Thread(e.thread),
+                        format!("memo key {key:#x} was filled twice"),
+                        "the build must stay inside the critical section that checks the cache",
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_parallel::events::TraceEvent;
+
+    fn trace(events: Vec<(u32, SyncEvent)>) -> SyncTrace {
+        SyncTrace {
+            events: events
+                .into_iter()
+                .map(|(thread, event)| TraceEvent { thread, event })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn clean_two_worker_trace_lowers_and_scans_clean() {
+        let t = trace(vec![
+            (
+                1,
+                SyncEvent::CursorFetchAdd {
+                    range: 0,
+                    claimed: 0,
+                    hit: true,
+                },
+            ),
+            (
+                2,
+                SyncEvent::CursorFetchAdd {
+                    range: 1,
+                    claimed: 1,
+                    hit: true,
+                },
+            ),
+            (
+                1,
+                SyncEvent::CursorFetchAdd {
+                    range: 0,
+                    claimed: 1,
+                    hit: false,
+                },
+            ),
+            (1, SyncEvent::CursorUndo { range: 0 }),
+            (1, SyncEvent::WorkerDone { worker: 0 }),
+            (2, SyncEvent::WorkerDone { worker: 1 }),
+            (0, SyncEvent::WorkerJoin { worker: 0 }),
+            (0, SyncEvent::WorkerJoin { worker: 1 }),
+        ]);
+        let ops = lower(&t);
+        // Joined reads of both claimed slots appended at the end.
+        assert!(matches!(
+            ops.last(),
+            Some(Op {
+                thread: 0,
+                kind: OpKind::Access(Loc::Item(1), AccessKind::Read)
+            })
+        ));
+        let mut r = Report::new();
+        let hb = crate::hb::detect_races(&ops, &mut r);
+        assert!(hb.races.is_empty(), "{:?}", hb.races);
+        let scan = scan_trace(&t, &mut r);
+        assert_eq!(scan.claims, 2);
+        assert_eq!(scan.duplicate_claims, 0);
+        assert!(!r.has_errors());
+    }
+
+    #[test]
+    fn missing_join_is_a_race() {
+        // Worker 1's slot is read by the main thread without joining it.
+        let t = trace(vec![
+            (
+                1,
+                SyncEvent::CursorFetchAdd {
+                    range: 0,
+                    claimed: 0,
+                    hit: true,
+                },
+            ),
+            (1, SyncEvent::WorkerDone { worker: 0 }),
+            (
+                2,
+                SyncEvent::CursorFetchAdd {
+                    range: 1,
+                    claimed: 1,
+                    hit: true,
+                },
+            ),
+            (2, SyncEvent::WorkerDone { worker: 1 }),
+            (0, SyncEvent::WorkerJoin { worker: 0 }), // worker 1 never joined
+        ]);
+        let mut r = Report::new();
+        let hb = crate::hb::detect_races(&lower(&t), &mut r);
+        assert_eq!(hb.races.len(), 1);
+        assert!(matches!(hb.races[0].loc, Loc::Item(1)));
+        assert!(r.has_code(mmio_analyze::codes::CONC_DATA_RACE));
+    }
+
+    #[test]
+    fn duplicate_claim_fires_lost_update() {
+        let t = trace(vec![
+            (
+                1,
+                SyncEvent::CursorFetchAdd {
+                    range: 0,
+                    claimed: 3,
+                    hit: true,
+                },
+            ),
+            (
+                2,
+                SyncEvent::CursorFetchAdd {
+                    range: 0,
+                    claimed: 3,
+                    hit: true,
+                },
+            ),
+        ]);
+        let mut r = Report::new();
+        let scan = scan_trace(&t, &mut r);
+        assert_eq!(scan.duplicate_claims, 1);
+        assert!(r.has_code(mmio_analyze::codes::CONC_LOST_UPDATE));
+    }
+
+    #[test]
+    fn same_index_different_ranges_is_fine() {
+        // map_chunks reuses index 0 in each range's local coordinates?
+        // No — ranges partition one global index space, but the scan keys
+        // on (range, index) so equal indices in different ranges (as a
+        // defensive matter) do not alias.
+        let t = trace(vec![
+            (
+                1,
+                SyncEvent::CursorFetchAdd {
+                    range: 0,
+                    claimed: 0,
+                    hit: true,
+                },
+            ),
+            (
+                2,
+                SyncEvent::CursorFetchAdd {
+                    range: 1,
+                    claimed: 0,
+                    hit: true,
+                },
+            ),
+        ]);
+        let mut r = Report::new();
+        assert_eq!(scan_trace(&t, &mut r).duplicate_claims, 0);
+    }
+
+    #[test]
+    fn double_fill_fires() {
+        let t = trace(vec![
+            (0, SyncEvent::MemoLock),
+            (0, SyncEvent::MemoFill { key: 42 }),
+            (0, SyncEvent::MemoUnlock),
+            (1, SyncEvent::MemoLock),
+            (1, SyncEvent::MemoFill { key: 42 }),
+            (1, SyncEvent::MemoUnlock),
+        ]);
+        let mut r = Report::new();
+        let scan = scan_trace(&t, &mut r);
+        assert_eq!(scan.double_fills, 1);
+        assert!(r.has_code(mmio_analyze::codes::CONC_DOUBLE_FILL));
+        // The mutex orders the two fills, so HB sees no race — the bug is
+        // semantic (wasted duplicate build), which is why C003 exists
+        // separately from C001.
+        let mut r2 = Report::new();
+        assert!(crate::hb::detect_races(&lower(&t), &mut r2)
+            .races
+            .is_empty());
+    }
+}

@@ -1,0 +1,499 @@
+//! Virtual-scheduler models of the production concurrency, for the
+//! bounded model checker.
+//!
+//! Model fidelity is the whole game: a paraphrased model proves nothing
+//! about the real pool. These models therefore make their *decisions*
+//! with the very functions the pool exports and uses itself —
+//! [`split_ranges`], [`pick_victim`], [`chunk_count`], [`chunk_bounds`] —
+//! and mirror its control flow statement by statement (own-range drain,
+//! overshoot-undo, victim snapshot loads one relaxed read per step,
+//! first-steal-miss terminates the worker). What the model checker then
+//! proves — every interleaving claims every index exactly once — is a
+//! statement about the algorithm the pool actually runs.
+//!
+//! Each model also has a deliberately broken variant (a claim whose
+//! load and store are separate steps; a memo fill outside the critical
+//! section that checked the cache). The explorer must *find* those bugs:
+//! that is the self-test demonstrating the checker has teeth.
+
+use crate::explore::Model;
+use mmio_parallel::pool::{chunk_bounds, chunk_count, pick_victim, split_ranges};
+
+/// Worker progress through the drain/steal loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Mode {
+    /// Draining the worker's own range.
+    Own,
+    /// First claim on a freshly selected victim (`drain_one`): a miss
+    /// here exits the steal loop.
+    StealFirst,
+    /// Continuing drain of a victim after a successful first steal.
+    Steal,
+}
+
+impl Mode {
+    fn after_hit(self) -> Mode {
+        match self {
+            Mode::Own => Mode::Own,
+            Mode::StealFirst | Mode::Steal => Mode::Steal,
+        }
+    }
+}
+
+/// One virtual worker's program counter.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+enum Pc {
+    /// Atomic `fetch_add` claim on `range` (the correct pool).
+    Claim { range: usize, mode: Mode },
+    /// Broken claim, load half: read the cursor, remember it.
+    ClaimLoad { range: usize, mode: Mode },
+    /// Broken claim, store half: write back `i + 1` and take `i`.
+    ClaimStore { range: usize, i: usize, mode: Mode },
+    /// Compensating `fetch_sub` after an overshooting claim.
+    Undo { range: usize, mode: Mode },
+    /// Loading the per-range cursor snapshot (one load per step) that
+    /// feeds victim selection.
+    Select { loaded: Vec<usize> },
+    /// Terminated.
+    Done,
+}
+
+/// A bounded model of `Pool::map(n, f)` with `workers` virtual threads.
+///
+/// The output is the per-index claim count: the determinism contract is
+/// `output == vec![1; n]` on every schedule. With `atomic: false` the
+/// cursor claim is split into a load step and a store step — the lost
+/// update the real `fetch_add` exists to prevent, which the explorer
+/// demonstrably finds.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PoolMapModel {
+    cursors: Vec<usize>,
+    ends: Vec<usize>,
+    atomic: bool,
+    pcs: Vec<Pc>,
+    claims: Vec<u8>,
+}
+
+impl PoolMapModel {
+    /// The faithful model of `Pool::map(n, _)` at `workers` threads.
+    pub fn new(n: usize, workers: usize) -> PoolMapModel {
+        PoolMapModel::build(n, workers, true)
+    }
+
+    /// The broken variant: claims are a separate load and store.
+    pub fn racy(n: usize, workers: usize) -> PoolMapModel {
+        PoolMapModel::build(n, workers, false)
+    }
+
+    fn build(n: usize, workers: usize, atomic: bool) -> PoolMapModel {
+        // `Pool::map` clamps the same way: never more workers than items,
+        // never zero.
+        let workers = workers.min(n).max(1);
+        let ranges = split_ranges(n, workers);
+        PoolMapModel {
+            cursors: ranges.iter().map(|&(s, _)| s).collect(),
+            ends: ranges.iter().map(|&(_, e)| e).collect(),
+            atomic,
+            pcs: (0..workers)
+                .map(|w| PoolMapModel::claim_pc(atomic, w, Mode::Own))
+                .collect(),
+            claims: vec![0; n],
+        }
+    }
+
+    fn claim_pc(atomic: bool, range: usize, mode: Mode) -> Pc {
+        if atomic {
+            Pc::Claim { range, mode }
+        } else {
+            Pc::ClaimLoad { range, mode }
+        }
+    }
+
+    /// A claim of `i` on `range` landed: record it and advance `mode`.
+    fn land(&mut self, t: usize, range: usize, i: usize, mode: Mode) {
+        if i < self.ends[range] {
+            // Cap at 3 ("three or more"): the racy variant can re-claim an
+            // index unboundedly via cursor regress, and collapsing the
+            // count folds those runaway futures into cycles the explorer
+            // detects as livelocks instead of an infinite state space.
+            self.claims[i] = (self.claims[i] + 1).min(3);
+            self.pcs[t] = PoolMapModel::claim_pc(self.atomic, range, mode.after_hit());
+        } else {
+            self.pcs[t] = Pc::Undo { range, mode };
+        }
+    }
+}
+
+impl Model for PoolMapModel {
+    type Output = Vec<u8>;
+
+    fn threads(&self) -> usize {
+        self.pcs.len()
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        self.pcs[t] != Pc::Done
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        self.pcs[t] == Pc::Done
+    }
+
+    fn step(&mut self, t: usize) {
+        match self.pcs[t].clone() {
+            Pc::Claim { range, mode } => {
+                let i = self.cursors[range];
+                self.cursors[range] += 1;
+                self.land(t, range, i, mode);
+            }
+            Pc::ClaimLoad { range, mode } => {
+                let i = self.cursors[range];
+                self.pcs[t] = Pc::ClaimStore { range, i, mode };
+            }
+            Pc::ClaimStore { range, i, mode } => {
+                // The lost update: another thread may have loaded the same
+                // cursor value between our load and this store.
+                self.cursors[range] = i + 1;
+                self.land(t, range, i, mode);
+            }
+            Pc::Undo { range, mode } => {
+                // Saturating: with racy claims, interleaved undos can
+                // otherwise push a cursor below zero.
+                self.cursors[range] = self.cursors[range].saturating_sub(1);
+                self.pcs[t] = match mode {
+                    // After a failed own-drain or exhausted steal-drain the
+                    // worker (re)enters the steal loop; a first-steal miss
+                    // terminates it (`break` in `Pool::map`).
+                    Mode::Own | Mode::Steal => Pc::Select { loaded: Vec::new() },
+                    Mode::StealFirst => Pc::Done,
+                };
+            }
+            Pc::Select { mut loaded } => {
+                // One relaxed cursor load per step, like the real snapshot.
+                let r = loaded.len();
+                loaded.push(self.ends[r].saturating_sub(self.cursors[r]));
+                self.pcs[t] = if loaded.len() == self.cursors.len() {
+                    let victim = pick_victim(loaded).expect("at least one range");
+                    PoolMapModel::claim_pc(self.atomic, victim, Mode::StealFirst)
+                } else {
+                    Pc::Select { loaded }
+                };
+            }
+            Pc::Done => unreachable!("stepping a finished thread"),
+        }
+    }
+
+    fn next_object(&self, t: usize) -> Option<u64> {
+        match &self.pcs[t] {
+            Pc::Claim { range, .. }
+            | Pc::ClaimLoad { range, .. }
+            | Pc::ClaimStore { range, .. }
+            | Pc::Undo { range, .. } => Some(*range as u64),
+            Pc::Select { loaded } => Some(loaded.len() as u64),
+            Pc::Done => None,
+        }
+    }
+
+    fn output(&self) -> Vec<u8> {
+        self.claims.clone()
+    }
+}
+
+/// A bounded model of `Pool::map_chunks`: the same claim machine over the
+/// chunk index space, plus the caller's fixed-order fold.
+///
+/// The output is the folded total where chunk `c` contributes its claim
+/// count times a per-chunk value derived from [`chunk_bounds`] — so a
+/// chunk claimed twice (or never) shifts the total, exactly like a lost
+/// or duplicated update would shift a sharded counter.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ChunksModel {
+    inner: PoolMapModel,
+    n: usize,
+    /// Number of chunks, from the production [`chunk_count`] arithmetic.
+    pub chunks: usize,
+}
+
+impl ChunksModel {
+    /// Models `Pool::map_chunks(n, chunks_per_worker, ..)` at `workers`
+    /// threads with the production chunk arithmetic.
+    pub fn new(n: usize, workers: usize, chunks_per_worker: usize) -> ChunksModel {
+        let chunks = chunk_count(workers, chunks_per_worker, n);
+        ChunksModel {
+            inner: PoolMapModel::new(chunks, workers.min(chunks)),
+            n,
+            chunks,
+        }
+    }
+
+    /// The fold value of one chunk: Σ (i+1) over its item range.
+    fn chunk_value(&self, c: usize) -> u64 {
+        chunk_bounds(self.n, self.chunks, c)
+            .map(|i| i as u64 + 1)
+            .sum()
+    }
+
+    /// The serial result the fold must reproduce on every schedule.
+    pub fn serial(&self) -> u64 {
+        (0..self.chunks).map(|c| self.chunk_value(c)).sum()
+    }
+}
+
+impl Model for ChunksModel {
+    type Output = u64;
+
+    fn threads(&self) -> usize {
+        self.inner.threads()
+    }
+    fn enabled(&self, t: usize) -> bool {
+        self.inner.enabled(t)
+    }
+    fn finished(&self, t: usize) -> bool {
+        self.inner.finished(t)
+    }
+    fn step(&mut self, t: usize) {
+        self.inner.step(t);
+    }
+    fn next_object(&self, t: usize) -> Option<u64> {
+        self.inner.next_object(t)
+    }
+
+    fn output(&self) -> u64 {
+        // The caller-side fold visits chunks in fixed index order; its
+        // result depends only on the claim multiset, which is what the
+        // exploration quantifies over.
+        (0..self.chunks)
+            .map(|c| u64::from(self.inner.claims[c]) * self.chunk_value(c))
+            .sum()
+    }
+}
+
+/// One memo thread's program counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum MemoPc {
+    /// Waiting for the mutex.
+    Lock,
+    /// Holding the mutex: check the cache.
+    Check,
+    /// Correct protocol: build + insert while still holding the mutex.
+    Fill,
+    /// Release the mutex, then terminate.
+    Unlock,
+    /// Buggy protocol: release after the check, remembering the verdict.
+    BuggyUnlock {
+        /// Whether the entry was absent at check time.
+        absent: bool,
+    },
+    /// Buggy protocol: re-acquire the mutex to insert.
+    BuggyRelock,
+    /// Buggy protocol: build + insert (unconditionally — the check is
+    /// stale by now).
+    BuggyFill,
+    /// Terminated.
+    Done,
+}
+
+/// A bounded model of `RoutingMemo::class`: `threads` virtual threads all
+/// requesting the same `(algorithm, k)` key.
+///
+/// The correct protocol checks and fills inside one critical section;
+/// every schedule fills exactly once. The buggy variant re-locks between
+/// check and fill (check-then-act), and the explorer finds schedules
+/// where two threads both observed "absent" and both fill.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MemoModel {
+    lock_held: bool,
+    present: bool,
+    fills: u8,
+    hits: u8,
+    pcs: Vec<MemoPc>,
+    // Steers only the Check transition: release-then-relock vs fill in place.
+    buggy: bool,
+}
+
+impl MemoModel {
+    /// The faithful model of the memo's lock-check-fill-unlock protocol.
+    pub fn new(threads: usize) -> MemoModel {
+        MemoModel::build(threads, false)
+    }
+
+    /// The broken check-then-act variant.
+    pub fn buggy(threads: usize) -> MemoModel {
+        MemoModel::build(threads, true)
+    }
+
+    fn build(threads: usize, buggy: bool) -> MemoModel {
+        MemoModel {
+            lock_held: false,
+            present: false,
+            fills: 0,
+            hits: 0,
+            pcs: vec![MemoPc::Lock; threads],
+            buggy,
+        }
+    }
+}
+
+impl Model for MemoModel {
+    type Output = (u8, u8);
+
+    fn threads(&self) -> usize {
+        self.pcs.len()
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        match self.pcs[t] {
+            MemoPc::Lock | MemoPc::BuggyRelock => !self.lock_held,
+            MemoPc::Done => false,
+            _ => true,
+        }
+    }
+
+    fn finished(&self, t: usize) -> bool {
+        self.pcs[t] == MemoPc::Done
+    }
+
+    fn step(&mut self, t: usize) {
+        match self.pcs[t] {
+            MemoPc::Lock | MemoPc::BuggyRelock => {
+                debug_assert!(!self.lock_held);
+                self.lock_held = true;
+                self.pcs[t] = if self.pcs[t] == MemoPc::BuggyRelock {
+                    MemoPc::BuggyFill
+                } else {
+                    MemoPc::Check
+                };
+            }
+            MemoPc::Check => {
+                if self.present {
+                    self.hits += 1;
+                    self.pcs[t] = MemoPc::Unlock;
+                } else if self.buggy {
+                    self.pcs[t] = MemoPc::BuggyUnlock { absent: true };
+                } else {
+                    self.pcs[t] = MemoPc::Fill;
+                }
+            }
+            MemoPc::Fill | MemoPc::BuggyFill => {
+                self.present = true;
+                self.fills += 1;
+                self.pcs[t] = MemoPc::Unlock;
+            }
+            MemoPc::Unlock => {
+                self.lock_held = false;
+                self.pcs[t] = MemoPc::Done;
+            }
+            MemoPc::BuggyUnlock { absent } => {
+                self.lock_held = false;
+                self.pcs[t] = if absent {
+                    MemoPc::BuggyRelock
+                } else {
+                    MemoPc::Done
+                };
+            }
+            MemoPc::Done => unreachable!("stepping a finished thread"),
+        }
+    }
+
+    fn next_object(&self, t: usize) -> Option<u64> {
+        match self.pcs[t] {
+            MemoPc::Done => None,
+            _ => Some(0), // everything contends on the one mutex/entry
+        }
+    }
+
+    fn output(&self) -> (u8, u8) {
+        (self.fills, self.hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{explore, Limits};
+
+    #[test]
+    fn pool_map_model_matches_production_split() {
+        let m = PoolMapModel::new(6, 2);
+        assert_eq!(m.cursors, vec![0, 3]);
+        assert_eq!(m.ends, vec![3, 6]);
+    }
+
+    #[test]
+    fn atomic_map_is_serial_on_every_schedule() {
+        for n in 1..=5 {
+            let e = explore(&PoolMapModel::new(n, 2), Limits::default());
+            assert!(
+                e.all_equal_to(&vec![1u8; n]),
+                "n={n}: outputs {:?}, deadlocks {}",
+                e.outputs,
+                e.deadlocks
+            );
+            assert!(e.schedules >= 1);
+        }
+    }
+
+    #[test]
+    fn racy_map_loses_updates_somewhere() {
+        // The split load/store claim must produce at least one schedule
+        // whose claim counts differ from serial.
+        let e = explore(&PoolMapModel::racy(2, 2), Limits::default());
+        assert!(
+            e.outputs.iter().any(|o| o != &vec![1u8; 2]),
+            "the explorer failed to find the planted lost update: {:?}",
+            e.outputs
+        );
+    }
+
+    #[test]
+    fn chunks_model_is_serial_on_every_schedule() {
+        let m = ChunksModel::new(8, 2, 2);
+        assert_eq!(m.chunks, 4);
+        let serial = m.serial();
+        let e = explore(&m, Limits::default());
+        assert!(e.all_equal_to(&serial), "{:?}", e.outputs);
+    }
+
+    #[test]
+    fn memo_fills_once_on_every_schedule() {
+        for threads in [2, 3] {
+            let e = explore(&MemoModel::new(threads), Limits::default());
+            assert!(
+                e.all_equal_to(&(1, threads as u8 - 1)),
+                "threads={threads}: {:?}",
+                e.outputs
+            );
+        }
+    }
+
+    #[test]
+    fn buggy_memo_double_fills_somewhere() {
+        let e = explore(&MemoModel::buggy(2), Limits::default());
+        assert!(
+            e.outputs.iter().any(|&(fills, _)| fills == 2),
+            "the explorer failed to find the double fill: {:?}",
+            e.outputs
+        );
+        assert_eq!(e.deadlocks, 0);
+    }
+
+    #[test]
+    fn por_agrees_with_full_exploration() {
+        for model in [PoolMapModel::new(4, 2), PoolMapModel::racy(3, 2)] {
+            let full = explore(&model, Limits::default());
+            let por = explore(
+                &model,
+                Limits {
+                    por: true,
+                    ..Limits::default()
+                },
+            );
+            let mut a = full.outputs.clone();
+            let mut b = por.outputs.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "POR must preserve the reachable outputs");
+            assert_eq!(full.deadlocks, por.deadlocks);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Conservation laws of the distributed-memory simulator, across every
+//! assignment strategy and the whole algorithm registry at r ≤ 2 —
+//! cross-checked against the independent event-level audit in
+//! `mmio-analyze` (double-entry bookkeeping: the simulator's claimed
+//! totals must be re-derivable from its own event stream).
+
+use mmio_algos::registry::all_base_graphs;
+use mmio_analyze::{audit_dist_trace, Report};
+use mmio_cdag::build::build_cdag;
+use mmio_cdag::Cdag;
+use mmio_parallel::assign::{
+    all_on_one, block_per_rank, by_top_subproblem, cyclic_per_rank, Assignment,
+};
+use mmio_parallel::distsim::{simulate, simulate_traced};
+use mmio_pebble::orders::recursive_order;
+
+fn strategies(g: &Cdag, p: u32) -> Vec<(&'static str, Assignment)> {
+    vec![
+        ("cyclic_per_rank", cyclic_per_rank(g, p)),
+        ("block_per_rank", block_per_rank(g, p)),
+        ("by_top_subproblem", by_top_subproblem(g, p)),
+        ("all_on_one", all_on_one(g, p)),
+    ]
+}
+
+#[test]
+fn words_are_conserved_across_all_strategies_and_graphs() {
+    for base in all_base_graphs() {
+        for r in 1..=2u32 {
+            let g = build_cdag(&base, r);
+            let order = recursive_order(&g);
+            let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
+            let m = need.max(16);
+            for (name, a) in strategies(&g, 4) {
+                let t = simulate_traced(&g, &a, &order, m);
+                let ctx = format!("{} r={r} {name}", base.name());
+
+                // Conservation: every word sent is received, and the
+                // claimed inter-processor total is exactly that sum.
+                let sent: u64 = t.sent.iter().sum();
+                let received: u64 = t.received.iter().sum();
+                assert_eq!(sent, received, "{ctx}: sent != received");
+                assert_eq!(t.claimed.total_words, sent, "{ctx}: total != Σ sent");
+
+                // The critical path is the busiest rank's send+recv load:
+                // bounded below by the average and above by the total.
+                let busiest = (0..t.p as usize)
+                    .map(|r| t.sent[r] + t.received[r])
+                    .max()
+                    .unwrap_or(0);
+                assert_eq!(t.claimed.critical_path_words, busiest, "{ctx}");
+                assert!(
+                    t.claimed.critical_path_words <= 2 * t.claimed.total_words,
+                    "{ctx}"
+                );
+
+                // `all_on_one` moves nothing between processors.
+                if name == "all_on_one" {
+                    assert_eq!(t.claimed.total_words, 0, "{ctx}");
+                }
+
+                // Traced and untraced simulation agree exactly.
+                assert_eq!(t.claimed, simulate(&g, &a, &order, m), "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn analyzer_audit_confirms_every_clean_run() {
+    for base in all_base_graphs() {
+        for r in 1..=2u32 {
+            let g = build_cdag(&base, r);
+            let order = recursive_order(&g);
+            let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
+            let m = need.max(16);
+            for (name, a) in strategies(&g, 4) {
+                let t = simulate_traced(&g, &a, &order, m);
+                let mut report = Report::new();
+                let audit = audit_dist_trace(&g, &a, &t, &mut report);
+                assert!(
+                    audit.ok && !report.has_errors(),
+                    "{} r={r} {name}: {:?}",
+                    base.name(),
+                    report.diagnostics
+                );
+                // The audit replayed real work and respected the capacity.
+                assert!(audit.execs > 0);
+                assert!(audit.max_occupancy <= m);
+            }
+        }
+    }
+}

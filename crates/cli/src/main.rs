@@ -11,6 +11,7 @@
 //!                                   (with r: transport into all copies in G_r)
 //! mmio report <algo> <r> <M>        full JSON analysis report
 //! mmio analyze <algo|all> [r] [--json]   static analysis & certification
+//! mmio check [--json]               concurrency soundness suite
 //! ```
 //!
 //! `<algo>` is a built-in name (`mmio list`) or a path to a JSON base-graph
@@ -47,7 +48,8 @@ fn usage() -> ExitCode {
          certify  <algo> <r> <M>\n  \
          routing  <algo> <k> [r]\n  \
          report   <algo> <r> <M>\n  \
-         analyze  <algo|all> [r] [--json]"
+         analyze  <algo|all> [r] [--json]\n  \
+         check    [--json]"
     );
     ExitCode::FAILURE
 }
@@ -375,6 +377,63 @@ fn run() -> Result<ExitCode, String> {
                 println!("total: {total_errors} error(s), {total_warnings} warning(s)");
             }
             if total_errors > 0 {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        "check" => {
+            let json = args.iter().any(|a| a == "--json");
+            // Deliberately ignores the pool: the suite fixes its own thread
+            // counts, so `mmio check` output is byte-identical at any
+            // `--threads` value (golden-tested).
+            let outcome = mmio_check::run_suite();
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&serde::Serialize::to_value(&outcome))
+                        .expect("serializable")
+                );
+            } else {
+                println!("recorded traces:");
+                for t in &outcome.traces {
+                    println!(
+                        "  {:<28} races {}, duplicate claims {}, double fills {}",
+                        t.name, t.races, t.duplicate_claims, t.double_fills
+                    );
+                }
+                println!("bounded exploration:");
+                for e in &outcome.explorations {
+                    println!(
+                        "  {:<32} {} states, {} schedules, {} output(s), {} deadlock(s), {} livelock(s) → {}",
+                        e.name,
+                        e.states,
+                        e.schedules,
+                        e.outputs,
+                        e.deadlocks,
+                        e.livelocks,
+                        if e.serial_equal { "serial-equal" } else { "DIVERGES" }
+                    );
+                }
+                println!("detector self-tests:");
+                for s in &outcome.selftests {
+                    println!(
+                        "  {:<28} expects {} → {}",
+                        s.name,
+                        s.expected,
+                        if s.fired { "fired" } else { "MISSED" }
+                    );
+                }
+                println!("distributed-run audits: {}", outcome.distsim_audits);
+                for d in &outcome.report.diagnostics {
+                    println!("  {d}");
+                }
+                println!(
+                    "check: {} ({} error(s), {} warning(s))",
+                    if outcome.ok() { "PASS" } else { "FAIL" },
+                    outcome.report.error_count(),
+                    outcome.report.warning_count()
+                );
+            }
+            if !outcome.ok() {
                 return Ok(ExitCode::FAILURE);
             }
         }

@@ -158,6 +158,65 @@ fn routing_transport_verifies() {
 }
 
 #[test]
+fn check_passes_clean() {
+    let out = mmio(&["check"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("check: PASS"), "{stdout}");
+    assert!(!stdout.contains("DIVERGES"), "{stdout}");
+    assert!(!stdout.contains("MISSED"), "{stdout}");
+}
+
+#[test]
+fn check_json_is_thread_count_invariant() {
+    // The suite fixes its own thread counts; `--threads` must be inert.
+    let serial = mmio(&["--threads", "1", "check", "--json"]);
+    assert!(serial.status.success());
+    for threads in ["2", "8"] {
+        let par = mmio(&["--threads", threads, "check", "--json"]);
+        assert!(par.status.success());
+        assert_eq!(
+            par.stdout, serial.stdout,
+            "check --json diverges at {threads} threads"
+        );
+    }
+    // And across repeat runs of the same configuration.
+    let again = mmio(&["--threads", "1", "check", "--json"]);
+    assert_eq!(again.stdout, serial.stdout);
+}
+
+#[test]
+fn check_json_reports_exact_planted_codes() {
+    let out = mmio(&["check", "--json"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"ok\": true"), "{stdout}");
+    // The three seeded defect traces fire their exact codes (plus the
+    // explorer's own planted-bug self-tests).
+    for code in ["MMIO-C001", "MMIO-C002", "MMIO-C003", "MMIO-D005"] {
+        assert!(stdout.contains(code), "missing selftest code {code}");
+    }
+    assert!(!stdout.contains("\"fired\": false"), "{stdout}");
+}
+
+#[test]
+fn unparsable_threads_env_warns_and_falls_back() {
+    for bad in ["0", "abc"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_mmio"))
+            .env("MMIO_THREADS", bad)
+            .args(["verify", "strassen"])
+            .output()
+            .expect("binary runs");
+        assert!(out.status.success(), "MMIO_THREADS={bad} must not be fatal");
+        let stderr = String::from_utf8(out.stderr).unwrap();
+        assert!(
+            stderr.contains("warning: MMIO_THREADS") && stderr.contains(bad),
+            "MMIO_THREADS={bad}: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn bad_threads_value_fails() {
     let out = mmio(&["--threads", "zero", "list"]);
     assert!(!out.status.success());

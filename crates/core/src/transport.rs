@@ -36,6 +36,7 @@ use crate::theorem2::InOutRouting;
 use mmio_cdag::build::build_cdag;
 use mmio_cdag::fact1::Subcomputation;
 use mmio_cdag::{BaseGraph, Cdag, MetaVertices, VertexId};
+use mmio_parallel::events::{self, SyncEvent};
 use mmio_parallel::Pool;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -150,14 +151,26 @@ impl RoutingMemo {
     /// matching stays without one.
     pub fn class(&self, base: &BaseGraph, k: u32, pool: &Pool) -> Option<Arc<RoutingClass>> {
         let key = (base.name().to_string(), k);
+        let ekey = events::memo_key(base.name(), k);
         let mut classes = self.classes.lock().expect("memo poisoned");
+        // Emitted while the lock is held, so the trace's lock/fill/unlock
+        // triples nest correctly (see mmio-parallel's events module docs).
+        events::emit(SyncEvent::MemoLock);
         if let Some(cached) = classes.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            events::emit(SyncEvent::MemoHit { key: ekey });
+            events::emit(SyncEvent::MemoUnlock);
             return cached.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        // The class is built *inside* the critical section: lost updates
+        // and double-fills are impossible by construction, which is exactly
+        // what mmio-check's model checker certifies (and what its buggy
+        // check-then-act variant demonstrably violates).
         let built = RoutingClass::build(base, k, pool).map(Arc::new);
         classes.insert(key, built.clone());
+        events::emit(SyncEvent::MemoFill { key: ekey });
+        events::emit(SyncEvent::MemoUnlock);
         built
     }
 

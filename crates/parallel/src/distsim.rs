@@ -17,13 +17,19 @@
 //! The totals decompose the paper's two costs: `bandwidth` (inter-processor
 //! words, the Theorem 1 parallel quantity) and per-processor local I/O
 //! (the sequential quantity, now divided across processors).
+//!
+//! [`simulate_traced`] additionally records the full machine-level event
+//! stream (cache evictions/insertions, sends, receives, executions) so
+//! `mmio-analyze` can re-verify a run by independent re-simulation —
+//! double-entry bookkeeping for the distributed machine, in the same
+//! spirit as its schedule and routing audits.
 
 use crate::assign::Assignment;
 use mmio_cdag::{Cdag, VertexId};
 use serde::Serialize;
 
 /// Results of one distributed simulation.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct DistRun {
     /// Words moved between processors, total.
     pub total_words: u64,
@@ -35,107 +41,237 @@ pub struct DistRun {
     pub total_local_io: u64,
 }
 
+/// One machine-level action of a traced distributed run. Vertices are
+/// dense CDAG indices (`VertexId::idx() as u32`), processors are ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DistEvent {
+    /// Processor `proc` evicted `v` from its LRU cache.
+    Evict {
+        /// Evicting processor.
+        proc: u32,
+        /// Evicted vertex.
+        v: u32,
+    },
+    /// Processor `proc` brought `v` into its cache; `charged` is whether
+    /// the insertion cost a local I/O (operand fetches do, computing a
+    /// fresh result into cache does not).
+    Insert {
+        /// Inserting processor.
+        proc: u32,
+        /// Inserted vertex.
+        v: u32,
+        /// Whether the insertion was charged as local I/O.
+        charged: bool,
+    },
+    /// Processor `from` sent the value of `v` to `to` (one word).
+    Send {
+        /// Sender rank.
+        from: u32,
+        /// Receiver rank.
+        to: u32,
+        /// Vertex whose value moved.
+        v: u32,
+    },
+    /// Processor `to` received the value of `v` from `from`.
+    Recv {
+        /// Receiver rank.
+        to: u32,
+        /// Sender rank.
+        from: u32,
+        /// Vertex whose value moved.
+        v: u32,
+    },
+    /// Processor `proc` computed (non-input) vertex `v`.
+    Exec {
+        /// Computing processor.
+        proc: u32,
+        /// Computed vertex.
+        v: u32,
+    },
+}
+
+/// A fully recorded distributed run: the claimed totals plus the event
+/// stream and per-rank counters they were derived from, for independent
+/// re-verification by `mmio-analyze`.
+#[derive(Clone, Debug)]
+pub struct DistTrace {
+    /// Number of processors.
+    pub p: u32,
+    /// Local cache capacity per processor.
+    pub m: usize,
+    /// The totals the simulator claims (identical to [`simulate`]'s).
+    pub claimed: DistRun,
+    /// Words sent, per rank.
+    pub sent: Vec<u64>,
+    /// Words received, per rank.
+    pub received: Vec<u64>,
+    /// Machine-level events in execution order.
+    pub events: Vec<DistEvent>,
+}
+
+/// The mutable machine state of one simulation.
+struct Sim<'a> {
+    g: &'a Cdag,
+    m: usize,
+    in_cache: Vec<Vec<bool>>,
+    stamp: Vec<Vec<u64>>,
+    cache_members: Vec<Vec<VertexId>>,
+    clock: u64,
+    sent: Vec<u64>,
+    received: Vec<u64>,
+    local_io: Vec<u64>,
+    total_words: u64,
+    events: Option<Vec<DistEvent>>,
+}
+
+impl<'a> Sim<'a> {
+    fn new(g: &'a Cdag, p: usize, m: usize, traced: bool) -> Sim<'a> {
+        let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
+        assert!(m >= need, "local cache {m} cannot hold operands ({need})");
+        let n = g.n_vertices();
+        Sim {
+            g,
+            m,
+            in_cache: vec![vec![false; n]; p],
+            stamp: vec![vec![0u64; n]; p],
+            cache_members: vec![Vec::new(); p],
+            clock: 0,
+            sent: vec![0; p],
+            received: vec![0; p],
+            local_io: vec![0; p],
+            total_words: 0,
+            events: traced.then(Vec::new),
+        }
+    }
+
+    fn push(&mut self, e: DistEvent) {
+        if let Some(ev) = &mut self.events {
+            ev.push(e);
+        }
+    }
+
+    /// Touches `v` in `proc`'s cache. On a miss: evicts the LRU entry if
+    /// full, accounts a network transfer when `from` names a different
+    /// owner, inserts `v`, and charges a local I/O iff `charge`.
+    ///
+    /// Event order on a miss: `Evict?`, `Send`+`Recv` (remote only),
+    /// `Insert` — i.e. the word is on the wire before it lands in cache.
+    fn touch(&mut self, proc: usize, v: VertexId, charge: bool, from: Option<usize>) {
+        self.clock += 1;
+        if self.in_cache[proc][v.idx()] {
+            self.stamp[proc][v.idx()] = self.clock;
+            return; // hit
+        }
+        // Miss: evict LRU if full.
+        if self.cache_members[proc].len() >= self.m {
+            let (pos, _) = self.cache_members[proc]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| self.stamp[proc][w.idx()])
+                .expect("cache nonempty");
+            let victim = self.cache_members[proc].swap_remove(pos);
+            self.in_cache[proc][victim.idx()] = false;
+            self.push(DistEvent::Evict {
+                proc: proc as u32,
+                v: victim.idx() as u32,
+            });
+        }
+        if let Some(owner) = from {
+            if owner != proc {
+                // The word came over the network.
+                self.sent[owner] += 1;
+                self.received[proc] += 1;
+                self.total_words += 1;
+                self.push(DistEvent::Send {
+                    from: owner as u32,
+                    to: proc as u32,
+                    v: v.idx() as u32,
+                });
+                self.push(DistEvent::Recv {
+                    to: proc as u32,
+                    from: owner as u32,
+                    v: v.idx() as u32,
+                });
+            }
+        }
+        self.in_cache[proc][v.idx()] = true;
+        self.stamp[proc][v.idx()] = self.clock;
+        self.cache_members[proc].push(v);
+        if charge {
+            self.local_io[proc] += 1;
+        }
+        self.push(DistEvent::Insert {
+            proc: proc as u32,
+            v: v.idx() as u32,
+            charged: charge,
+        });
+    }
+
+    fn run(&mut self, assignment: &Assignment, order: &[VertexId]) {
+        for &v in order {
+            let me = assignment.of(v) as usize;
+            for &op in self.g.preds(v) {
+                let owner = assignment.of(op) as usize;
+                self.touch(me, op, true, Some(owner));
+            }
+            if !self.g.preds(v).is_empty() {
+                self.push(DistEvent::Exec {
+                    proc: me as u32,
+                    v: v.idx() as u32,
+                });
+            }
+            // The result occupies a slot; computing into cache is free.
+            self.touch(me, v, false, None);
+        }
+    }
+
+    fn totals(&self) -> DistRun {
+        DistRun {
+            total_words: self.total_words,
+            critical_path_words: self
+                .sent
+                .iter()
+                .zip(&self.received)
+                .map(|(&s, &r)| s + r)
+                .max()
+                .unwrap_or(0),
+            max_local_io: self.local_io.iter().copied().max().unwrap_or(0),
+            total_local_io: self.local_io.iter().sum(),
+        }
+    }
+}
+
 /// Simulates `order` under `assignment` with per-processor LRU caches of
 /// size `m`.
 ///
 /// # Panics
 /// Panics if `m` cannot hold any vertex's operand set.
 pub fn simulate(g: &Cdag, assignment: &Assignment, order: &[VertexId], m: usize) -> DistRun {
-    let p = assignment.p as usize;
-    let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
-    assert!(m >= need, "local cache {m} cannot hold operands ({need})");
+    let mut sim = Sim::new(g, assignment.p as usize, m, false);
+    sim.run(assignment, order);
+    sim.totals()
+}
 
-    // Per-processor LRU state: membership + timestamps.
-    let n = g.n_vertices();
-    let mut in_cache = vec![vec![false; n]; p];
-    let mut stamp = vec![vec![0u64; n]; p];
-    let mut cache_members: Vec<Vec<VertexId>> = vec![Vec::new(); p];
-    let mut clock = 0u64;
-
-    let mut sent = vec![0u64; p];
-    let mut received = vec![0u64; p];
-    let mut local_io = vec![0u64; p];
-    let mut total_words = 0u64;
-
-    // `charge`: whether a miss costs a local I/O. Operand fetches do;
-    // inserting a freshly computed result does not (computation writes its
-    // result into cache for free in the machine model).
-    let touch = |proc: usize,
-                 v: VertexId,
-                 charge: bool,
-                 in_cache: &mut Vec<Vec<bool>>,
-                 stamp: &mut Vec<Vec<u64>>,
-                 cache_members: &mut Vec<Vec<VertexId>>,
-                 local_io: &mut Vec<u64>,
-                 clock: &mut u64| {
-        *clock += 1;
-        if in_cache[proc][v.idx()] {
-            stamp[proc][v.idx()] = *clock;
-            return false; // hit
-        }
-        // Miss: evict LRU if full.
-        if cache_members[proc].len() >= m {
-            let (pos, _) = cache_members[proc]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| stamp[proc][w.idx()])
-                .expect("cache nonempty");
-            let victim = cache_members[proc].swap_remove(pos);
-            in_cache[proc][victim.idx()] = false;
-        }
-        in_cache[proc][v.idx()] = true;
-        stamp[proc][v.idx()] = *clock;
-        cache_members[proc].push(v);
-        if charge {
-            local_io[proc] += 1;
-        }
-        true // miss
-    };
-
-    for &v in order {
-        let me = assignment.of(v) as usize;
-        for &op in g.preds(v) {
-            let owner = assignment.of(op) as usize;
-            let miss = touch(
-                me,
-                op,
-                true,
-                &mut in_cache,
-                &mut stamp,
-                &mut cache_members,
-                &mut local_io,
-                &mut clock,
-            );
-            if miss && owner != me {
-                // The word came over the network.
-                sent[owner] += 1;
-                received[me] += 1;
-                total_words += 1;
-            }
-        }
-        // The result occupies a slot; computing into cache is free.
-        touch(
-            me,
-            v,
-            false,
-            &mut in_cache,
-            &mut stamp,
-            &mut cache_members,
-            &mut local_io,
-            &mut clock,
-        );
-    }
-
-    DistRun {
-        total_words,
-        critical_path_words: sent
-            .iter()
-            .zip(&received)
-            .map(|(&s, &r)| s + r)
-            .max()
-            .unwrap_or(0),
-        max_local_io: local_io.iter().copied().max().unwrap_or(0),
-        total_local_io: local_io.iter().sum(),
+/// Like [`simulate`], but also records the machine-level event stream for
+/// independent re-verification (see `mmio-analyze`'s distsim audit).
+///
+/// # Panics
+/// Panics if `m` cannot hold any vertex's operand set.
+pub fn simulate_traced(
+    g: &Cdag,
+    assignment: &Assignment,
+    order: &[VertexId],
+    m: usize,
+) -> DistTrace {
+    let mut sim = Sim::new(g, assignment.p as usize, m, true);
+    sim.run(assignment, order);
+    DistTrace {
+        p: assignment.p,
+        m,
+        claimed: sim.totals(),
+        sent: std::mem::take(&mut sim.sent),
+        received: std::mem::take(&mut sim.received),
+        events: sim.events.take().expect("traced"),
     }
 }
 
@@ -205,5 +341,46 @@ mod tests {
         assert!(large.max_local_io <= small.max_local_io);
         // Communication is cache-independent in this model: same owners.
         assert!(large.total_words <= small.total_words);
+    }
+
+    #[test]
+    fn traced_run_agrees_with_untraced() {
+        let (g, order) = setup();
+        let a = by_top_subproblem(&g, 7);
+        let plain = simulate(&g, &a, &order, 16);
+        let traced = simulate_traced(&g, &a, &order, 16);
+        assert_eq!(traced.claimed.total_words, plain.total_words);
+        assert_eq!(
+            traced.claimed.critical_path_words,
+            plain.critical_path_words
+        );
+        assert_eq!(traced.claimed.max_local_io, plain.max_local_io);
+        assert_eq!(traced.claimed.total_local_io, plain.total_local_io);
+        assert_eq!(traced.p, 7);
+        assert_eq!(traced.m, 16);
+        // Event-level sanity: sends and receives pair up exactly, and the
+        // per-rank counters match the event stream.
+        let sends = traced
+            .events
+            .iter()
+            .filter(|e| matches!(e, DistEvent::Send { .. }))
+            .count() as u64;
+        let recvs = traced
+            .events
+            .iter()
+            .filter(|e| matches!(e, DistEvent::Recv { .. }))
+            .count() as u64;
+        assert_eq!(sends, plain.total_words);
+        assert_eq!(recvs, plain.total_words);
+        assert_eq!(traced.sent.iter().sum::<u64>(), plain.total_words);
+        assert_eq!(traced.received.iter().sum::<u64>(), plain.total_words);
+        // Every non-input vertex executes exactly once.
+        let execs = traced
+            .events
+            .iter()
+            .filter(|e| matches!(e, DistEvent::Exec { .. }))
+            .count();
+        let non_inputs = g.vertices().filter(|&v| !g.preds(v).is_empty()).count();
+        assert_eq!(execs, non_inputs);
     }
 }

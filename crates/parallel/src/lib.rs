@@ -38,6 +38,7 @@ pub mod assign;
 pub mod bandwidth;
 pub mod caps;
 pub mod distsim;
+pub mod events;
 pub mod executor;
 pub mod pool;
 

@@ -12,10 +12,21 @@
 //! index — the determinism contract the golden tests and the CI
 //! `bench-smoke` job enforce.
 //!
+//! The scheduling *decisions* — range splitting ([`split_ranges`]), victim
+//! selection ([`pick_victim`]), chunk arithmetic ([`chunk_count`],
+//! [`chunk_bounds`]) — are exported as pure functions so that
+//! `mmio-check`'s bounded model checker replays the same algorithm under
+//! exhaustive schedules instead of a paraphrase of it, and every
+//! synchronization point emits a [`crate::events`] sync event (compiled
+//! out unless the `trace` feature is on).
+//!
 //! Thread count resolution (used by the `mmio` CLI's `--threads` and every
 //! experiment binary): explicit argument > `MMIO_THREADS` env var >
-//! `std::thread::available_parallelism()`.
+//! `std::thread::available_parallelism()`. An `MMIO_THREADS` value that is
+//! not a positive integer is rejected with a one-line stderr warning and
+//! the available-parallelism fallback is used instead.
 
+use crate::events::{self, SyncEvent};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A fixed-width thread pool. `threads == 1` runs every task inline on the
@@ -30,6 +41,67 @@ pub struct Pool {
 struct Range {
     cursor: AtomicUsize,
     end: usize,
+}
+
+/// The contiguous near-equal split of `0..n` into `workers` ranges used by
+/// [`Pool::map`]: range `w` is `[n·w/workers, n·(w+1)/workers)`.
+pub fn split_ranges(n: usize, workers: usize) -> Vec<(usize, usize)> {
+    (0..workers)
+        .map(|w| (n * w / workers, n * (w + 1) / workers))
+        .collect()
+}
+
+/// Victim-selection rule of the steal loop: the index of the range with
+/// the most work remaining, ties broken towards the *last* such range
+/// (`Iterator::max_by_key` semantics, kept bit-compatible with the
+/// pre-refactor code). `None` only on an empty iterator.
+pub fn pick_victim<I: IntoIterator<Item = usize>>(remaining: I) -> Option<usize> {
+    let mut best: Option<(usize, usize)> = None;
+    for (i, rem) in remaining.into_iter().enumerate() {
+        match best {
+            Some((_, b)) if rem < b => {}
+            _ => best = Some((i, rem)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Number of chunks [`Pool::map_chunks`] splits `n` items into at a given
+/// thread count: `threads · chunks_per_worker`, clamped to `[1, n]`.
+pub fn chunk_count(threads: usize, chunks_per_worker: usize, n: usize) -> usize {
+    (threads * chunks_per_worker.max(1)).min(n).max(1)
+}
+
+/// The half-open item range of chunk `c` out of `chunks` over `n` items.
+pub fn chunk_bounds(n: usize, chunks: usize, c: usize) -> std::ops::Range<usize> {
+    n * c / chunks..n * (c + 1) / chunks
+}
+
+/// Resolution of a thread-count request against an (already read)
+/// environment value: the chosen count plus an optional warning line for
+/// an `MMIO_THREADS` value that had to be ignored. Pure so it is testable
+/// without touching process environment.
+fn resolve_threads(
+    explicit: Option<usize>,
+    env: Option<&str>,
+    fallback: usize,
+) -> (usize, Option<String>) {
+    if let Some(t) = explicit {
+        return (t, None);
+    }
+    match env {
+        None => (fallback, None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(t) if t >= 1 => (t, None),
+            _ => (
+                fallback,
+                Some(format!(
+                    "warning: MMIO_THREADS={v:?} is not a positive integer; \
+                     ignoring it and using {fallback} thread(s) (available parallelism)"
+                )),
+            ),
+        },
+    }
 }
 
 impl Pool {
@@ -47,19 +119,18 @@ impl Pool {
 
     /// Resolves the thread count from the environment: `explicit` if given,
     /// else the `MMIO_THREADS` env var, else
-    /// `std::thread::available_parallelism()`.
+    /// `std::thread::available_parallelism()`. A set-but-invalid
+    /// `MMIO_THREADS` (unparsable, or zero) is ignored with a one-line
+    /// stderr warning naming the bad value and the fallback chosen.
     pub fn from_env(explicit: Option<usize>) -> Pool {
-        let threads = explicit
-            .or_else(|| {
-                std::env::var("MMIO_THREADS")
-                    .ok()
-                    .and_then(|v| v.parse().ok())
-            })
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(std::num::NonZeroUsize::get)
-                    .unwrap_or(1)
-            });
+        let fallback = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let env = std::env::var("MMIO_THREADS").ok();
+        let (threads, warning) = resolve_threads(explicit, env.as_deref(), fallback);
+        if let Some(w) = warning {
+            eprintln!("{w}");
+        }
         Pool::new(threads)
     }
 
@@ -82,14 +153,11 @@ impl Pool {
         }
 
         // Split 0..n into `workers` near-equal contiguous ranges.
-        let ranges: Vec<Range> = (0..workers)
-            .map(|w| {
-                let start = n * w / workers;
-                let end = n * (w + 1) / workers;
-                Range {
-                    cursor: AtomicUsize::new(start),
-                    end,
-                }
+        let ranges: Vec<Range> = split_ranges(n, workers)
+            .into_iter()
+            .map(|(start, end)| Range {
+                cursor: AtomicUsize::new(start),
+                end,
             })
             .collect();
         let ranges = &ranges;
@@ -101,28 +169,33 @@ impl Pool {
                     s.spawn(move |_| {
                         let mut out: Vec<(usize, T)> = Vec::new();
                         // Drain the worker's own range, then steal.
-                        drain(&ranges[w], f, &mut out);
+                        drain(&ranges[w], w as u32, f, &mut out);
                         loop {
                             // Steal from the victim with the most work left.
-                            let victim = ranges
-                                .iter()
-                                .max_by_key(|r| {
+                            let victim =
+                                pick_victim(ranges.iter().map(|r| {
                                     r.end.saturating_sub(r.cursor.load(Ordering::Relaxed))
-                                })
+                                }))
                                 .expect("at least one range");
-                            if !drain_one(victim, f, &mut out) {
+                            events::emit(SyncEvent::StealSelect {
+                                victim: victim as u32,
+                            });
+                            if !drain_one(&ranges[victim], victim as u32, f, &mut out) {
                                 break;
                             }
-                            drain(victim, f, &mut out);
+                            drain(&ranges[victim], victim as u32, f, &mut out);
                         }
+                        events::emit(SyncEvent::WorkerDone { worker: w as u32 });
                         out
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("pool worker panicked"))
-                .collect()
+            let mut all: Vec<(usize, T)> = Vec::with_capacity(n);
+            for (w, h) in handles.into_iter().enumerate() {
+                all.extend(h.join().expect("pool worker panicked"));
+                events::emit(SyncEvent::WorkerJoin { worker: w as u32 });
+            }
+            all
         })
         .expect("pool scope failed");
 
@@ -139,7 +212,7 @@ impl Pool {
     /// own counter, and because the fold visits chunks in a fixed order the
     /// merged result is independent of scheduling. With `threads == 1` the
     /// whole computation degenerates to one chunk folded serially.
-    pub fn map_chunks<T, F, M>(&self, n: usize, chunks_per_worker: usize, f: F, merge: M) -> T
+    pub fn map_chunks<T, F, M>(&self, n: usize, chunks_per_worker: usize, f: F, mut merge: M) -> T
     where
         T: Send + Default,
         F: Fn(std::ops::Range<usize>) -> T + Sync,
@@ -148,25 +221,37 @@ impl Pool {
         if n == 0 {
             return T::default();
         }
-        let chunks = (self.threads * chunks_per_worker.max(1)).min(n).max(1);
-        let results = self.map(chunks, |c| {
-            let start = n * c / chunks;
-            let end = n * (c + 1) / chunks;
-            f(start..end)
-        });
-        results.into_iter().fold(T::default(), merge)
+        let chunks = chunk_count(self.threads, chunks_per_worker, n);
+        let results = self.map(chunks, |c| f(chunk_bounds(n, chunks, c)));
+        let mut acc = T::default();
+        for (c, r) in results.into_iter().enumerate() {
+            events::emit(SyncEvent::ChunkMerge { chunk: c as u64 });
+            acc = merge(acc, r);
+        }
+        acc
     }
 }
 
 /// Claims and runs every remaining index of `range`.
-fn drain<T, F: Fn(usize) -> T>(range: &Range, f: &F, out: &mut Vec<(usize, T)>) {
-    while drain_one(range, f, out) {}
+fn drain<T, F: Fn(usize) -> T>(range: &Range, ri: u32, f: &F, out: &mut Vec<(usize, T)>) {
+    while drain_one(range, ri, f, out) {}
 }
 
 /// Claims one index of `range` if any remain; returns whether it did.
-fn drain_one<T, F: Fn(usize) -> T>(range: &Range, f: &F, out: &mut Vec<(usize, T)>) -> bool {
+fn drain_one<T, F: Fn(usize) -> T>(
+    range: &Range,
+    ri: u32,
+    f: &F,
+    out: &mut Vec<(usize, T)>,
+) -> bool {
     let i = range.cursor.fetch_add(1, Ordering::Relaxed);
-    if i < range.end {
+    let hit = i < range.end;
+    events::emit(SyncEvent::CursorFetchAdd {
+        range: ri,
+        claimed: i as u64,
+        hit,
+    });
+    if hit {
         out.push((i, f(i)));
         true
     } else {
@@ -174,6 +259,7 @@ fn drain_one<T, F: Fn(usize) -> T>(range: &Range, f: &F, out: &mut Vec<(usize, T
         // estimate for victim selection (saturating, so benign if several
         // workers overshoot concurrently).
         range.cursor.fetch_sub(1, Ordering::Relaxed);
+        events::emit(SyncEvent::CursorUndo { range: ri });
         false
     }
 }
@@ -267,5 +353,93 @@ mod tests {
     #[test]
     fn zero_threads_clamped() {
         assert_eq!(Pool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn thread_resolution_precedence_and_warnings() {
+        // explicit > env > fallback.
+        assert_eq!(resolve_threads(Some(3), Some("8"), 4), (3, None));
+        assert_eq!(resolve_threads(None, Some("8"), 4), (8, None));
+        assert_eq!(resolve_threads(None, None, 4), (4, None));
+        // Invalid env values warn, naming the bad value and the fallback.
+        for bad in ["0", "abc", "-2", "1.5", ""] {
+            let (threads, warning) = resolve_threads(None, Some(bad), 4);
+            assert_eq!(threads, 4, "MMIO_THREADS={bad:?}");
+            let w = warning.expect("invalid value must warn");
+            assert!(w.contains(&format!("{bad:?}")), "{w}");
+            assert!(w.contains('4'), "{w}");
+        }
+        // Explicit silences even an invalid env var.
+        assert_eq!(resolve_threads(Some(2), Some("junk"), 4), (2, None));
+    }
+
+    #[test]
+    fn split_ranges_partitions_exactly() {
+        for n in [1usize, 2, 5, 7, 100] {
+            for workers in 1..=n.min(9) {
+                let ranges = split_ranges(n, workers);
+                assert_eq!(ranges.len(), workers);
+                assert_eq!(ranges[0].0, 0);
+                assert_eq!(ranges[workers - 1].1, n);
+                for w in 1..workers {
+                    assert_eq!(ranges[w - 1].1, ranges[w].0, "contiguous");
+                }
+                assert!(ranges.iter().all(|&(s, e)| s < e), "nonempty when w<=n");
+            }
+        }
+    }
+
+    #[test]
+    fn pick_victim_matches_max_by_key() {
+        let cases: &[&[usize]] = &[&[0], &[3, 1], &[1, 3], &[2, 2], &[0, 5, 5, 1]];
+        for rem in cases {
+            let expect = rem
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, r)| *r)
+                .map(|(i, _)| i);
+            assert_eq!(pick_victim(rem.iter().copied()), expect, "{rem:?}");
+        }
+        assert_eq!(pick_victim(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn chunk_arithmetic_covers_items() {
+        for (threads, cpw, n) in [(2, 2, 8), (2, 2, 3), (1, 4, 100), (8, 4, 5)] {
+            let chunks = chunk_count(threads, cpw, n);
+            assert!(chunks >= 1 && chunks <= n.max(1));
+            let mut all = Vec::new();
+            for c in 0..chunks {
+                all.extend(chunk_bounds(n, chunks, c));
+            }
+            assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn map_records_claims_and_joins() {
+        use crate::events::{record, SyncEvent};
+        let (out, trace) = record(|| Pool::new(2).map(8, |i| i));
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        let mut claims: Vec<u64> = trace
+            .events
+            .iter()
+            .filter_map(|e| match e.event {
+                SyncEvent::CursorFetchAdd {
+                    claimed, hit: true, ..
+                } => Some(claimed),
+                _ => None,
+            })
+            .collect();
+        claims.sort_unstable();
+        assert_eq!(claims, (0..8).collect::<Vec<_>>());
+        // Both workers are joined by the caller.
+        for w in 0..2 {
+            assert!(trace
+                .events
+                .iter()
+                .any(|e| e.event == SyncEvent::WorkerJoin { worker: w }));
+        }
     }
 }
