@@ -253,6 +253,52 @@ mod tests {
     }
 
     #[test]
+    fn audit_accepts_fast_engine_schedules_for_every_policy() {
+        // The heap-based engine must emit schedules the auditor certifies
+        // clean for every replacement policy, not just Belady — lazy heap
+        // invalidation and the dead free-list change *how* victims are
+        // found, never the legality of the recorded actions.
+        use mmio_pebble::orders::recursive_order;
+        use mmio_pebble::sweep::PolicySpec;
+        use mmio_pebble::{AutoScheduler, RunOptions, SchedScratch};
+        let g = build_cdag(&mmio_algos::strassen::strassen(), 2);
+        let order = recursive_order(&g);
+        let mut scratch = SchedScratch::new();
+        scratch.prepare(&g, &order);
+        let opts = RunOptions {
+            record_schedule: true,
+            record_victims: false,
+        };
+        for spec in [
+            PolicySpec::Lru,
+            PolicySpec::Belady,
+            PolicySpec::Random { seed: 7 },
+        ] {
+            for m in [9, 24, 64] {
+                let out = AutoScheduler::new(&g, m).run_prepared(
+                    &order,
+                    &mut scratch,
+                    spec.instantiate(g.n_vertices()).as_mut(),
+                    opts,
+                );
+                let mut report = Report::new();
+                let audit = audit_schedule(&g, out.schedule.as_ref().unwrap(), m, &mut report);
+                assert!(
+                    !report.has_errors(),
+                    "{} M={m}: {:?}",
+                    spec.name(),
+                    report.diagnostics
+                );
+                assert_eq!(audit.loads, out.stats.loads);
+                assert_eq!(audit.stores, out.stats.stores);
+                assert_eq!(audit.computes, out.stats.computes);
+                assert!(audit.peak_occupancy <= m);
+                assert_eq!(audit.first_violation, None);
+            }
+        }
+    }
+
+    #[test]
     fn first_violating_step_is_reported() {
         let g = tiny();
         let mut s = valid(&g);

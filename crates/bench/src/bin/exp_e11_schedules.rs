@@ -2,15 +2,40 @@
 //! the order in which intermediate values are computed", Section 1):
 //! identical CDAG, identical cache, three compute orders × three
 //! replacement policies. Includes the `ablation_replacement` comparison.
+//!
+//! The full 3×3×3 grid runs as one `mmio_pebble::sweep` over the shared
+//! thread pool; every cell is asserted against its pre-migration I/O count
+//! (randomized eviction is seed-specified, so the pooled fast engine
+//! reproduces even the random column bit-for-bit).
 
 use mmio_algos::strassen::strassen;
 use mmio_bench::{write_record, Row};
 use mmio_cdag::build::build_cdag;
+use mmio_parallel::Pool;
 use mmio_pebble::orders::{random_topo_order, rank_order, recursive_order};
-use mmio_pebble::policy::{Belady, Lru, RandomEvict};
-use mmio_pebble::AutoScheduler;
+use mmio_pebble::sweep::{sweep, PolicySpec, SweepPoint};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+const MS: [usize; 3] = [8, 32, 128];
+const POLICIES: [PolicySpec; 3] = [
+    PolicySpec::Belady,
+    PolicySpec::Lru,
+    PolicySpec::Random { seed: 5 },
+];
+
+/// Pre-migration I/O counts, indexed (M, order) → (belady, lru, random).
+const EXPECTED_IO: &[(usize, &str, [u64; 3])] = &[
+    (8, "recursive", [178517, 214119, 217545]),
+    (8, "rank-by-rank", [264861, 283748, 291056]),
+    (8, "random-topo", [329472, 334328, 334324]),
+    (32, "recursive", [95800, 116438, 126215]),
+    (32, "rank-by-rank", [241241, 254324, 263107]),
+    (32, "random-topo", [318597, 333589, 333557]),
+    (128, "recursive", [47289, 58620, 66338]),
+    (128, "rank-by-rank", [228598, 238058, 244535]),
+    (128, "random-topo", [299695, 330771, 330827]),
+];
 
 fn main() {
     let base = strassen();
@@ -22,6 +47,13 @@ fn main() {
         ("rank-by-rank", rank_order(&g)),
         ("random-topo", random_topo_order(&g, &mut rng)),
     ];
+    let order_slices: Vec<&[_]> = orders.iter().map(|(_, o)| o.as_slice()).collect();
+    let pool = Pool::from_env(None);
+    let pts = sweep(&g, &order_slices, &POLICIES, &MS, &pool);
+    // Grid is order-major, then policy, then M.
+    let cell = |oi: usize, pi: usize, mi: usize| -> &SweepPoint {
+        &pts[(oi * POLICIES.len() + pi) * MS.len() + mi]
+    };
     let mut rows = Vec::new();
 
     println!("E11: I/O by compute order × replacement policy (Strassen r=5, n=32)\n");
@@ -29,14 +61,21 @@ fn main() {
         "{:>6} {:<14} | {:>12} {:>12} {:>12}",
         "M", "order", "belady", "lru", "random-evict"
     );
-    for m in [8usize, 32, 128] {
-        for (name, order) in &orders {
-            let sched = AutoScheduler::new(&g, m);
-            let b = sched.run(order, &mut Belady).io();
-            let l = sched.run(order, &mut Lru::new(g.n_vertices())).io();
-            let rv = sched
-                .run(order, &mut RandomEvict::new(StdRng::seed_from_u64(5)))
-                .io();
+    for (mi, &m) in MS.iter().enumerate() {
+        for (oi, (name, _)) in orders.iter().enumerate() {
+            let b = cell(oi, 0, mi).stats().io();
+            let l = cell(oi, 1, mi).stats().io();
+            let rv = cell(oi, 2, mi).stats().io();
+            let expected = EXPECTED_IO
+                .iter()
+                .find(|&&(em, en, _)| em == m && en == *name)
+                .map(|&(_, _, e)| e)
+                .expect("every grid cell has a pinned value");
+            assert_eq!(
+                [b, l, rv],
+                expected,
+                "M={m},{name}: sweep I/O diverged from pre-migration values"
+            );
             println!("{m:>6} {name:<14} | {b:>12} {l:>12} {rv:>12}");
             rows.push(
                 Row::new(format!("M={m},{name}"))

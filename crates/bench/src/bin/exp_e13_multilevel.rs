@@ -5,14 +5,22 @@
 //! (the standard inclusive-hierarchy argument). We simulate a 4-level
 //! hierarchy and check that the traffic across every boundary `i`
 //! dominates `(n/√M_i)^{ω₀}·M_i` in shape.
+//!
+//! The per-boundary runs go through `Hierarchy::measure_pooled` (a
+//! `mmio_pebble::sweep` over the level sizes on the shared thread pool) and
+//! are asserted against the pre-migration boundary traffic.
 
 use mmio_algos::strassen::strassen;
 use mmio_bench::{write_record, Row};
 use mmio_cdag::build::build_cdag;
 use mmio_core::theorem1::LowerBound;
+use mmio_parallel::Pool;
 use mmio_pebble::hierarchy::Hierarchy;
 use mmio_pebble::orders::recursive_order;
-use mmio_pebble::policy::Belady;
+use mmio_pebble::sweep::PolicySpec;
+
+/// Pre-migration boundary traffic for the 4 levels below.
+const EXPECTED_IO: [u64; 4] = [178517, 95800, 47289, 19889];
 
 fn main() {
     let base = strassen();
@@ -21,7 +29,11 @@ fn main() {
     let g = build_cdag(&base, 5);
     let order = recursive_order(&g);
     let h = Hierarchy::new(vec![8, 32, 128, 512]);
-    let traffic = h.measure(&g, &order, || Box::new(Belady));
+    let traffic = h.measure_pooled(&g, &order, PolicySpec::Belady, &Pool::from_env(None));
+    assert_eq!(
+        traffic.boundary_io, EXPECTED_IO,
+        "pooled hierarchy traffic diverged from pre-migration values"
+    );
     let mut rows = Vec::new();
 
     println!("E13: 4-level hierarchy, Strassen r=5 (n = {})\n", g.n());

@@ -3,14 +3,21 @@
 //! resulting I/O certificate lower-bounds the simulator's measured I/O.
 //! Also the `ablation_constants` sweep: how the certificate degrades as
 //! the (unoptimized) paper constants are tightened.
+//!
+//! E8b's measured column runs on `mmio_pebble::sweep` over the shared
+//! thread pool, with each cell asserted against its pre-migration I/O.
 
 use mmio_algos::strassen::strassen;
 use mmio_bench::{write_record, Row};
 use mmio_cdag::build::build_cdag;
 use mmio_core::theorem1::{certify_with, CertifyParams};
+use mmio_parallel::Pool;
 use mmio_pebble::orders::{rank_order, recursive_order};
-use mmio_pebble::policy::Belady;
-use mmio_pebble::AutoScheduler;
+use mmio_pebble::sweep::{sweep, PolicySpec};
+
+/// Pre-migration measured I/O at each E8b cache size; the pooled sweep must
+/// reproduce the serial reference numbers exactly.
+const EXPECTED_IO: [(u64, u64); 4] = [(8, 178517), (16, 125579), (32, 95800), (64, 64130)];
 
 fn main() {
     let base = strassen();
@@ -55,11 +62,22 @@ fn main() {
         "M", "certified", "measured", "cover"
     );
     let order = recursive_order(&g);
-    for m in [8u64, 16, 32, 64] {
+    let orders: [&[_]; 1] = [&order];
+    let ms: Vec<usize> = EXPECTED_IO.iter().map(|&(m, _)| m as usize).collect();
+    let pts = sweep(
+        &g,
+        &orders,
+        &[PolicySpec::Belady],
+        &ms,
+        &Pool::from_env(None),
+    );
+    for (pt, &(m, expected)) in pts.iter().zip(EXPECTED_IO.iter()) {
         let cert = certify_with(&g, m, &order, CertifyParams::SMALL);
-        let measured = AutoScheduler::new(&g, m as usize)
-            .run(&order, &mut Belady)
-            .io();
+        let measured = pt.stats().io();
+        assert_eq!(
+            measured, expected,
+            "M={m}: sweep I/O diverged from pre-migration value"
+        );
         assert!(cert.analysis.certified_io <= measured, "soundness");
         println!(
             "{m:>6} | {:>12} {measured:>12} {:>8.3}",

@@ -1,0 +1,319 @@
+//! P2 — the heap-based pebble engine against the scan-based reference.
+//!
+//! Three measurements, written to `BENCH_pebble.json` at the workspace root
+//! (the checked-in perf record; CI re-runs a reduced workload and uploads
+//! its own copy as an artifact), extending the perf trajectory started by
+//! `BENCH_routing.json`:
+//!
+//! 1. **Engine sweep**: `AutoScheduler` (lazy-invalidation heaps + dead
+//!    free-list + reused CSR scratch) vs `auto::reference` (two O(M) scans
+//!    per miss, fresh `Vec<Vec<u64>>` use-lists per run) over Strassen
+//!    `r × policy × M` grids, recursive order. Stats are compared on every
+//!    timed pair; the largest instance's Belady speedup is the headline
+//!    number and must exceed 3× (single core — the gain is algorithmic, not
+//!    threads).
+//! 2. **Equivalence contract**: recorded schedules + eviction sequences,
+//!    fast vs reference, for lru/belady/random on a mid-size grid, plus
+//!    strict simulator replay of every fast-engine schedule.
+//! 3. **Pooled sweep determinism**: one `pebble::sweep` grid at 1/2/8
+//!    threads must serialize byte-identically; serial vs pooled wall-clock
+//!    is recorded.
+//!
+//! The binary exits nonzero on any fast-vs-reference or cross-thread-count
+//! divergence. `MMIO_BENCH_SMOKE=1` runs a reduced workload (CI's
+//! bench-smoke job): smaller grids, same checks, same output schema.
+
+use mmio_algos::strassen::strassen;
+use mmio_cdag::build::build_cdag;
+use mmio_parallel::Pool;
+use mmio_pebble::auto::reference::ReferenceScheduler;
+use mmio_pebble::auto::{AutoScheduler, RunOptions, SchedScratch};
+use mmio_pebble::orders::{rank_order, recursive_order};
+use mmio_pebble::sim::simulate;
+use mmio_pebble::stats::EngineCounters;
+use mmio_pebble::sweep::{sweep, PolicySpec};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct EngineRecord {
+    n: u64,
+    r: u32,
+    m: usize,
+    policy: String,
+    io: u64,
+    reference_ms: f64,
+    fast_ms: f64,
+    speedup: f64,
+    counters: EngineCounters,
+}
+
+#[derive(Serialize)]
+struct SweepTimingRecord {
+    r: u32,
+    grid_points: usize,
+    serial_ms: f64,
+    pool2_ms: f64,
+    pool8_ms: f64,
+    speedup_8t: f64,
+}
+
+#[derive(Serialize)]
+struct BenchRecord {
+    experiment: &'static str,
+    /// Cores visible to the process when the record was produced; the
+    /// engine speedup is single-threaded and independent of this.
+    host_cores: usize,
+    smoke: bool,
+    engine_sweep: Vec<EngineRecord>,
+    /// reference / fast on the largest swept instance (Belady, largest M).
+    largest_instance_speedup: f64,
+    equivalence_instances: usize,
+    sweep_timing: SweepTimingRecord,
+    determinism: &'static str,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let smoke = std::env::var("MMIO_BENCH_SMOKE").map(|v| v == "1") == Ok(true);
+    let base = strassen();
+    mmio_bench::preflight(&base);
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut determinism_ok = true;
+
+    // --- 1. Engine sweep: fast vs reference --------------------------------
+    let rs: &[u32] = if smoke { &[3, 4] } else { &[4, 5, 6] };
+    let policies = [
+        PolicySpec::Lru,
+        PolicySpec::Belady,
+        PolicySpec::Random { seed: 5 },
+    ];
+    let ms_grid = [8usize, 32, 128, 512];
+    let (largest_r, largest_m) = (*rs.last().unwrap(), *ms_grid.last().unwrap());
+    let mut engine_sweep = Vec::new();
+    let mut largest_instance_speedup = 0.0f64;
+    println!("P2a: fast engine vs auto::reference (Strassen, recursive order)\n");
+    println!(
+        "{:>4} {:>6} {:<8} | {:>12} {:>10} {:>9} | {:>10} {:>10}",
+        "n", "M", "policy", "ref ms", "fast ms", "speedup", "evictions", "dead drops"
+    );
+    for &r in rs {
+        let g = build_cdag(&base, r);
+        let n_vertices = g.n_vertices();
+        let order = recursive_order(&g);
+        let mut scratch = SchedScratch::new();
+        scratch.prepare(&g, &order);
+        for &spec in &policies {
+            for &m in &ms_grid {
+                // The headline pair is timed over several repetitions (min
+                // taken) so the ≥3× gate is not noise-sensitive.
+                let headline = r == largest_r && m == largest_m && spec == PolicySpec::Belady;
+                let iters = if headline { 3 } else { 1 };
+                let fast = AutoScheduler::new(&g, m);
+                let reference = ReferenceScheduler::new(&g, m);
+
+                let mut reference_ms = f64::INFINITY;
+                let mut ref_stats = None;
+                for _ in 0..iters {
+                    let mut policy = spec.instantiate(n_vertices);
+                    let t = Instant::now();
+                    let stats = reference.run(&order, policy.as_mut());
+                    reference_ms = reference_ms.min(ms(t));
+                    ref_stats = Some(stats);
+                }
+                let mut fast_ms = f64::INFINITY;
+                let mut fast_out = None;
+                for _ in 0..iters {
+                    let mut policy = spec.instantiate(n_vertices);
+                    let t = Instant::now();
+                    let out = fast.run_prepared(
+                        &order,
+                        &mut scratch,
+                        policy.as_mut(),
+                        RunOptions::default(),
+                    );
+                    fast_ms = fast_ms.min(ms(t));
+                    fast_out = Some(out);
+                }
+                let ref_stats = ref_stats.unwrap();
+                let fast_out = fast_out.unwrap();
+                if fast_out.stats != ref_stats {
+                    eprintln!(
+                        "DIVERGENCE: r={r} M={m} {}: fast {:?} vs reference {:?}",
+                        spec.name(),
+                        fast_out.stats,
+                        ref_stats
+                    );
+                    determinism_ok = false;
+                }
+                let speedup = reference_ms / fast_ms;
+                if headline {
+                    largest_instance_speedup = speedup;
+                }
+                println!(
+                    "{:>4} {:>6} {:<8} | {reference_ms:>12.2} {fast_ms:>10.2} {speedup:>8.2}x | {:>10} {:>10}",
+                    g.n(),
+                    m,
+                    spec.name(),
+                    fast_out.counters.policy_evictions,
+                    fast_out.counters.dead_drops
+                );
+                engine_sweep.push(EngineRecord {
+                    n: g.n(),
+                    r,
+                    m,
+                    policy: spec.name().to_string(),
+                    io: fast_out.stats.io(),
+                    reference_ms,
+                    fast_ms,
+                    speedup,
+                    counters: fast_out.counters,
+                });
+            }
+        }
+    }
+    println!(
+        "\nheadline: n={}, M={largest_m}, belady — fast engine {largest_instance_speedup:.2}x \
+         over reference (single core)",
+        8u64 << (largest_r - 3)
+    );
+
+    // --- 2. Equivalence contract -------------------------------------------
+    let r_eq = if smoke { 3 } else { 4 };
+    let g = build_cdag(&base, r_eq);
+    let order = recursive_order(&g);
+    let mut scratch = SchedScratch::new();
+    scratch.prepare(&g, &order);
+    let opts = RunOptions {
+        record_schedule: true,
+        record_victims: true,
+    };
+    let mut equivalence_instances = 0usize;
+    for &spec in &policies {
+        for &m in &[8usize, 32, 512] {
+            let fast = AutoScheduler::new(&g, m).run_prepared(
+                &order,
+                &mut scratch,
+                spec.instantiate(g.n_vertices()).as_mut(),
+                opts,
+            );
+            let (ref_stats, ref_sched, ref_victims) = ReferenceScheduler::new(&g, m)
+                .run_traced(&order, spec.instantiate(g.n_vertices()).as_mut());
+            let schedule = fast.schedule.as_ref().unwrap();
+            if fast.stats != ref_stats
+                || schedule != &ref_sched
+                || fast.victims.as_ref().unwrap() != &ref_victims
+            {
+                eprintln!(
+                    "DIVERGENCE: equivalence contract broken at r={r_eq} M={m} {}",
+                    spec.name()
+                );
+                determinism_ok = false;
+            }
+            match simulate(&g, schedule, m) {
+                Ok(replayed) if replayed == fast.stats => {}
+                other => {
+                    eprintln!(
+                        "DIVERGENCE: fast schedule replay at r={r_eq} M={m} {}: {other:?}",
+                        spec.name()
+                    );
+                    determinism_ok = false;
+                }
+            }
+            equivalence_instances += 1;
+        }
+    }
+    println!(
+        "\nP2b: equivalence contract — {equivalence_instances} instances (r={r_eq}, \
+         schedules + victim sequences + simulator replay): {}",
+        if determinism_ok {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // --- 3. Pooled sweep determinism ---------------------------------------
+    let r_sweep = if smoke { 3 } else { 5 };
+    let g = build_cdag(&base, r_sweep);
+    let rec = recursive_order(&g);
+    let rank = rank_order(&g);
+    let order_slices: [&[_]; 2] = [&rec, &rank];
+    let sweep_ms = [8usize, 32, 128];
+    let grid_points = order_slices.len() * policies.len() * sweep_ms.len();
+
+    let t = Instant::now();
+    let serial_pts = sweep(&g, &order_slices, &policies, &sweep_ms, &Pool::serial());
+    let serial_ms = ms(t);
+    let t = Instant::now();
+    let pool2_pts = sweep(&g, &order_slices, &policies, &sweep_ms, &Pool::new(2));
+    let pool2_ms = ms(t);
+    let t = Instant::now();
+    let pool8_pts = sweep(&g, &order_slices, &policies, &sweep_ms, &Pool::new(8));
+    let pool8_ms = ms(t);
+    let serial_json = serde_json::to_string(&serial_pts).expect("serializable");
+    for (threads, pts) in [(2usize, &pool2_pts), (8, &pool8_pts)] {
+        let json = serde_json::to_string(pts).expect("serializable");
+        if json != serial_json {
+            eprintln!("DIVERGENCE: sweep output at {threads} threads differs from serial");
+            determinism_ok = false;
+        }
+    }
+    let speedup_8t = serial_ms / pool8_ms;
+    println!(
+        "\nP2c: pooled sweep (r={r_sweep}, {grid_points} grid points) — serial {serial_ms:.1} ms, \
+         2t {pool2_ms:.1} ms, 8t {pool8_ms:.1} ms ({speedup_8t:.2}x); \
+         1/2/8-thread outputs byte-identical: {}",
+        if determinism_ok { "yes" } else { "NO" }
+    );
+
+    // --- Record -------------------------------------------------------------
+    let record = BenchRecord {
+        experiment: "perf_pebble",
+        host_cores,
+        smoke,
+        engine_sweep,
+        largest_instance_speedup,
+        equivalence_instances,
+        sweep_timing: SweepTimingRecord {
+            r: r_sweep,
+            grid_points,
+            serial_ms,
+            pool2_ms,
+            pool8_ms,
+            speedup_8t,
+        },
+        determinism: if determinism_ok {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+    };
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_pebble.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&record).expect("serializable"),
+    )
+    .expect("write BENCH_pebble.json");
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        determinism_ok,
+        "fast-vs-reference or cross-thread-count check diverged (see stderr)"
+    );
+    if !smoke {
+        assert!(
+            largest_instance_speedup >= 3.0,
+            "fast engine must be ≥3x over auto::reference on the largest instance \
+             (got {largest_instance_speedup:.2}x)"
+        );
+    }
+}

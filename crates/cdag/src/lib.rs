@@ -51,6 +51,7 @@
 pub mod base;
 pub mod build;
 pub mod connectivity;
+pub mod csr;
 pub mod dot;
 pub mod fact1;
 pub mod graph;
@@ -63,5 +64,6 @@ pub mod traversal;
 pub mod values;
 
 pub use base::BaseGraph;
+pub use csr::Csr;
 pub use graph::{Cdag, Layer, VertexId, VertexRef};
 pub use meta::MetaVertices;

@@ -12,11 +12,146 @@
 //! - dead values are evicted first, for free;
 //! - outputs are stored the moment they are computed (each output costs
 //!   exactly one store in any schedule, so this is never worse).
+//!
+//! # The fast engine
+//!
+//! This module is the amortized-O(log M) engine; the original O(M)-per-miss
+//! scan engine survives as [`reference::ReferenceScheduler`] and defines the
+//! behavior this engine must reproduce exactly (same [`IoStats`], same
+//! recorded [`Schedule`], same eviction sequence, for every policy). Three
+//! structures replace the per-miss scans:
+//!
+//! - **Lazy-invalidation policy heaps.** For [`PolicyKind::Belady`] a
+//!   max-heap keyed `(next_use, Reverse(id))`; for [`PolicyKind::Lru`] a
+//!   min-heap keyed `(last_touch, id)`. Entries are pushed on every key
+//!   change and never removed in place; a popped entry is *stale* (its key
+//!   no longer matches the vertex's current key, or the vertex left the
+//!   cache) and discarded, or *pinned* (an operand of the current step) and
+//!   stashed + re-pushed after the victim is found. The VertexId tie-break
+//!   makes the victim identical to the reference scan regardless of heap
+//!   internals. [`PolicyKind::Other`] policies fall back to a candidate
+//!   scan over the cache in insertion order, so stateful policies (random)
+//!   observe the exact call sequence the reference makes.
+//! - **Dead-value free-list.** A value that is dead the moment it is
+//!   computed (a non-output with zero uses under this order) is pushed onto
+//!   a min-heap by id; free evictions pop it in O(log M). All other values
+//!   die while pinned as operands (or as just-stored outputs) and are
+//!   dropped eagerly at that point, so the free-list is exactly the set of
+//!   dead values in cache — no lazy validation needed.
+//! - **Flat CSR use-lists.** Per-vertex sorted use positions live in one
+//!   [`Csr`] (`use_offsets`/`use_positions`) built once per `(graph,
+//!   order)` by [`SchedScratch::prepare`] and reused across every
+//!   `(policy, M)` run of a sweep; `use_ptr` advances eagerly as uses are
+//!   consumed, so "next use" is an O(1) lookup.
 
-use crate::policy::ReplacementPolicy;
+pub mod reference;
+
+use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::schedule::{Action, Schedule};
-use crate::stats::IoStats;
-use mmio_cdag::{Cdag, VertexId};
+use crate::stats::{EngineCounters, IoStats};
+use mmio_cdag::{Cdag, Csr, VertexId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Error: the cache cannot hold even one operand set plus its result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheTooSmall {
+    /// The requested cache size.
+    pub m: usize,
+    /// The minimum feasible cache size (`max_indegree + 1`).
+    pub need: usize,
+}
+
+impl fmt::Display for CacheTooSmall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache size {} cannot hold an operand set ({} needed)",
+            self.m, self.need
+        )
+    }
+}
+
+impl std::error::Error for CacheTooSmall {}
+
+/// What [`AutoScheduler::run_prepared`] should collect beyond [`IoStats`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Record the full action sequence as a [`Schedule`].
+    pub record_schedule: bool,
+    /// Record every vertex evicted on a miss (free and policy evictions).
+    pub record_victims: bool,
+}
+
+/// Everything a scheduler run produces.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Exact I/O statistics.
+    pub stats: IoStats,
+    /// The schedule, if [`RunOptions::record_schedule`] was set.
+    pub schedule: Option<Schedule>,
+    /// The eviction sequence, if [`RunOptions::record_victims`] was set.
+    pub victims: Option<Vec<VertexId>>,
+    /// Engine-internal event counts (heap traffic, eviction kinds).
+    pub counters: EngineCounters,
+}
+
+/// Reusable scheduler state: the per-(graph, order) CSR use-lists plus every
+/// per-run vector and heap, so a sweep over a (policy, M) grid allocates
+/// once per worker instead of once per run.
+#[derive(Default)]
+pub struct SchedScratch {
+    // Built by `prepare`, immutable during runs.
+    compute_pos: Vec<u64>,
+    uses: Csr,
+    // Per-run state, reset by `run_prepared`.
+    use_ptr: Vec<u32>,
+    remaining_uses: Vec<u32>,
+    in_cache: Vec<bool>,
+    cache_list: Vec<VertexId>,
+    cache_pos: Vec<u32>,
+    dirty: Vec<bool>,
+    stored: Vec<bool>,
+    pinned_mark: Vec<u64>,
+    last_touch: Vec<u64>,
+    next_use_cur: Vec<u64>,
+    belady_heap: BinaryHeap<(u64, Reverse<VertexId>)>,
+    lru_heap: BinaryHeap<Reverse<(u64, VertexId)>>,
+    dead_heap: BinaryHeap<Reverse<VertexId>>,
+    stash: Vec<(u64, VertexId)>,
+    candidates: Vec<VertexId>,
+    next_use_buf: Vec<u64>,
+}
+
+impl SchedScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> SchedScratch {
+        SchedScratch::default()
+    }
+
+    /// Builds the flat CSR use-lists and compute positions for `(g, order)`,
+    /// reusing existing allocations. Must be called before
+    /// [`AutoScheduler::run_prepared`] with the same graph and order.
+    pub fn prepare(&mut self, g: &Cdag, order: &[VertexId]) {
+        let n = g.n_vertices();
+        self.compute_pos.clear();
+        self.compute_pos.resize(n, u64::MAX);
+        for (i, &v) in order.iter().enumerate() {
+            self.compute_pos[v.idx()] = i as u64;
+        }
+        // Emitting in ascending order position keeps every row sorted.
+        let compute_pos = &self.compute_pos;
+        self.uses.rebuild(n, |sink| {
+            for &v in order {
+                let pos = compute_pos[v.idx()];
+                for &p in g.preds(v) {
+                    sink(p.0, pos);
+                }
+            }
+        });
+    }
+}
 
 /// Scheduler for one CDAG under a fixed cache size.
 pub struct AutoScheduler<'g> {
@@ -25,24 +160,35 @@ pub struct AutoScheduler<'g> {
 }
 
 impl<'g> AutoScheduler<'g> {
+    /// Creates a scheduler with cache size `m`, or reports why it cannot
+    /// schedule anything (`m < max_indegree + 1`).
+    pub fn try_new(g: &'g Cdag, m: usize) -> Result<AutoScheduler<'g>, CacheTooSmall> {
+        let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
+        if m < need {
+            return Err(CacheTooSmall { m, need });
+        }
+        Ok(AutoScheduler { g, m })
+    }
+
     /// Creates a scheduler with cache size `m`.
     ///
     /// # Panics
     /// Panics if `m` is too small to compute some vertex at all
     /// (`m < max_indegree + 1`).
     pub fn new(g: &'g Cdag, m: usize) -> AutoScheduler<'g> {
-        let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
-        assert!(
-            m >= need,
-            "cache size {m} cannot hold an operand set ({need} needed)"
-        );
-        AutoScheduler { g, m }
+        match AutoScheduler::try_new(g, m) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Runs `order` (all non-input vertices, topologically sorted) under
     /// `policy` and returns the I/O statistics.
     pub fn run(&self, order: &[VertexId], policy: &mut dyn ReplacementPolicy) -> IoStats {
-        self.run_detailed(order, policy, false).0
+        let mut scratch = SchedScratch::new();
+        scratch.prepare(self.g, order);
+        self.run_prepared(order, &mut scratch, policy, RunOptions::default())
+            .stats
     }
 
     /// Like [`AutoScheduler::run`], additionally returning the explicit
@@ -52,215 +198,320 @@ impl<'g> AutoScheduler<'g> {
         order: &[VertexId],
         policy: &mut dyn ReplacementPolicy,
     ) -> (IoStats, Schedule) {
-        let (stats, sched) = self.run_detailed(order, policy, true);
-        (stats, sched.expect("recording was requested"))
+        let mut scratch = SchedScratch::new();
+        scratch.prepare(self.g, order);
+        let out = self.run_prepared(
+            order,
+            &mut scratch,
+            policy,
+            RunOptions {
+                record_schedule: true,
+                record_victims: false,
+            },
+        );
+        (out.stats, out.schedule.expect("recording was requested"))
     }
 
-    fn run_detailed(
+    /// The full-detail entry point: runs `order` under `policy` using
+    /// `scratch`, which must have been [`SchedScratch::prepare`]d for this
+    /// scheduler's graph and the same `order`.
+    pub fn run_prepared(
         &self,
         order: &[VertexId],
+        scratch: &mut SchedScratch,
         policy: &mut dyn ReplacementPolicy,
-        record: bool,
-    ) -> (IoStats, Option<Schedule>) {
+        opts: RunOptions,
+    ) -> RunOutput {
         let g = self.g;
+        let m = self.m;
         let n = g.n_vertices();
         debug_assert_eq!(
             order.len(),
             g.vertices().filter(|&v| !g.is_input(v)).count(),
             "order must cover every non-input vertex exactly once"
         );
+        debug_assert_eq!(
+            scratch.uses.n_keys(),
+            n,
+            "scratch must be prepared for this graph and order"
+        );
 
-        // Position of each vertex's computation in the order.
-        let mut compute_pos = vec![u64::MAX; n];
-        for (i, &v) in order.iter().enumerate() {
-            compute_pos[v.idx()] = i as u64;
-        }
-        // Sorted use positions per vertex (positions of its successors).
-        let mut uses: Vec<Vec<u64>> = vec![Vec::new(); n];
-        for &v in order {
-            for &p in g.preds(v) {
-                uses[p.idx()].push(compute_pos[v.idx()]);
-            }
-        }
-        for u in &mut uses {
-            u.sort_unstable();
-        }
-        let mut use_ptr = vec![0usize; n];
-        let mut remaining_uses: Vec<u32> = (0..n).map(|i| uses[i].len() as u32).collect();
+        let SchedScratch {
+            compute_pos: _,
+            uses,
+            use_ptr,
+            remaining_uses,
+            in_cache,
+            cache_list,
+            cache_pos,
+            dirty,
+            stored,
+            pinned_mark,
+            last_touch,
+            next_use_cur,
+            belady_heap,
+            lru_heap,
+            dead_heap,
+            stash,
+            candidates,
+            next_use_buf,
+        } = scratch;
 
-        // Cache as a membership bitmap + member list for candidate scans.
-        let mut in_cache = vec![false; n];
-        let mut cache_list: Vec<VertexId> = Vec::with_capacity(self.m);
-        let mut cache_pos = vec![usize::MAX; n];
-        let mut dirty = vec![false; n];
-        let mut stored = vec![false; n];
-        let mut computed = vec![false; n];
+        use_ptr.clear();
+        use_ptr.resize(n, 0);
+        remaining_uses.clear();
+        remaining_uses.resize(n, 0);
+        for (i, r) in remaining_uses.iter_mut().enumerate() {
+            *r = uses.row(i).len() as u32;
+        }
+        in_cache.clear();
+        in_cache.resize(n, false);
+        cache_list.clear();
+        cache_list.reserve(m);
+        cache_pos.clear();
+        cache_pos.resize(n, u32::MAX);
+        dirty.clear();
+        dirty.resize(n, false);
+        stored.clear();
+        stored.resize(n, false);
+        pinned_mark.clear();
+        pinned_mark.resize(n, 0);
+        last_touch.clear();
+        last_touch.resize(n, 0);
+        next_use_cur.clear();
+        next_use_cur.resize(n, 0);
+        belady_heap.clear();
+        lru_heap.clear();
+        dead_heap.clear();
+        stash.clear();
+
+        let pk = policy.kind();
+        let record = opts.record_schedule;
         let mut stats = IoStats::default();
+        let mut counters = EngineCounters::default();
         let mut actions: Vec<Action> = Vec::new();
+        let mut victims: Vec<VertexId> = Vec::new();
         let mut time: u64 = 0;
 
         macro_rules! cache_insert {
             ($v:expr) => {{
-                let v = $v;
+                let v: VertexId = $v;
                 in_cache[v.idx()] = true;
-                cache_pos[v.idx()] = cache_list.len();
+                cache_pos[v.idx()] = cache_list.len() as u32;
                 cache_list.push(v);
             }};
         }
         macro_rules! cache_remove {
             ($v:expr) => {{
-                let v = $v;
-                let pos = cache_pos[v.idx()];
+                let v: VertexId = $v;
+                let pos = cache_pos[v.idx()] as usize;
                 let last = *cache_list.last().unwrap();
                 cache_list.swap_remove(pos);
                 if last != v {
-                    cache_pos[last.idx()] = pos;
+                    cache_pos[last.idx()] = pos as u32;
                 }
                 in_cache[v.idx()] = false;
-                cache_pos[v.idx()] = usize::MAX;
+                cache_pos[v.idx()] = u32::MAX;
+            }};
+        }
+        // Mirrors the reference's `policy.on_touch` call sites; for LRU the
+        // engine also maintains its own stamp + heap entry.
+        macro_rules! touch {
+            ($w:expr) => {{
+                let w: VertexId = $w;
+                policy.on_touch(w, time);
+                if pk == PolicyKind::Lru {
+                    last_touch[w.idx()] = time;
+                    lru_heap.push(Reverse((time, w)));
+                    counters.heap_pushes += 1;
+                }
+                time += 1;
+            }};
+        }
+        // Publishes a vertex's current next-use key to the Belady heap; the
+        // previous entry (if any) becomes stale and is discarded at pop.
+        macro_rules! refresh_next_use {
+            ($w:expr) => {{
+                if pk == PolicyKind::Belady {
+                    let w: VertexId = $w;
+                    let key = uses
+                        .row(w.idx())
+                        .get(use_ptr[w.idx()] as usize)
+                        .copied()
+                        .unwrap_or(u64::MAX);
+                    next_use_cur[w.idx()] = key;
+                    belady_heap.push((key, Reverse(w)));
+                    counters.heap_pushes += 1;
+                }
             }};
         }
 
         for (step, &v) in order.iter().enumerate() {
             let step = step as u64;
-            let is_dead = |w: VertexId, remaining_uses: &Vec<u32>, stored: &Vec<bool>| -> bool {
-                remaining_uses[w.idx()] == 0 && (!g.is_output(w) || stored[w.idx()])
-            };
+            // Operands and v are pinned for the whole step; `step + 1` so
+            // the zero-initialized marks never match step 0.
+            let step_tag = step + 1;
+            for &p in g.preds(v) {
+                pinned_mark[p.idx()] = step_tag;
+            }
+            pinned_mark[v.idx()] = step_tag;
 
-            // Assemble operands, then compute. Operands and v are pinned.
-            let pinned = |w: VertexId| -> bool { g.preds(v).contains(&w) || w == v };
-
-            let ensure_slot = |stats: &mut IoStats,
-                               actions: &mut Vec<Action>,
-                               in_cache: &mut Vec<bool>,
-                               cache_list: &mut Vec<VertexId>,
-                               cache_pos: &mut Vec<usize>,
-                               dirty: &mut Vec<bool>,
-                               stored: &mut Vec<bool>,
-                               remaining_uses: &Vec<u32>,
-                               use_ptr: &mut Vec<usize>,
-                               policy: &mut dyn ReplacementPolicy| {
-                if cache_list.len() < self.m {
-                    return;
-                }
-                // 1) Free eviction of a dead value.
-                if let Some(&w) = cache_list.iter().find(|&&w| {
-                    !pinned(w)
-                        && remaining_uses[w.idx()] == 0
-                        && (!g.is_output(w) || stored[w.idx()])
-                }) {
-                    let pos = cache_pos[w.idx()];
-                    let last = *cache_list.last().unwrap();
-                    cache_list.swap_remove(pos);
-                    if last != w {
-                        cache_pos[last.idx()] = pos;
-                    }
-                    in_cache[w.idx()] = false;
-                    cache_pos[w.idx()] = usize::MAX;
-                    if record {
-                        actions.push(Action::Drop(w));
-                    }
-                    return;
-                }
-                // 2) Live eviction chosen by the policy.
-                let candidates: Vec<VertexId> =
-                    cache_list.iter().copied().filter(|&w| !pinned(w)).collect();
-                let next_use: Vec<u64> = candidates
-                    .iter()
-                    .map(|&w| {
-                        let us = &uses[w.idx()];
-                        let mut p = use_ptr[w.idx()];
-                        while p < us.len() && us[p] < step {
-                            p += 1;
+            macro_rules! ensure_slot {
+                () => {{
+                    if cache_list.len() >= m {
+                        if let Some(Reverse(w)) = dead_heap.pop() {
+                            // 1) O(1) free eviction off the dead free-list.
+                            //    Dead values are never pinned: a dead-at-birth
+                            //    vertex has no successors to be an operand of.
+                            debug_assert!(in_cache[w.idx()]);
+                            debug_assert!(pinned_mark[w.idx()] != step_tag);
+                            cache_remove!(w);
+                            counters.dead_drops += 1;
+                            if opts.record_victims {
+                                victims.push(w);
+                            }
+                            if record {
+                                actions.push(Action::Drop(w));
+                            }
+                        } else {
+                            // 2) Live eviction chosen by the policy.
+                            let victim: VertexId = match pk {
+                                PolicyKind::Belady => {
+                                    let victim;
+                                    loop {
+                                        let (key, Reverse(c)) = belady_heap
+                                            .pop()
+                                            .expect("a live unpinned candidate must exist");
+                                        if !in_cache[c.idx()] || key != next_use_cur[c.idx()] {
+                                            counters.stale_pops += 1;
+                                            continue;
+                                        }
+                                        if pinned_mark[c.idx()] == step_tag {
+                                            stash.push((key, c));
+                                            counters.pinned_stashes += 1;
+                                            continue;
+                                        }
+                                        victim = c;
+                                        break;
+                                    }
+                                    for &(k, c) in stash.iter() {
+                                        belady_heap.push((k, Reverse(c)));
+                                    }
+                                    stash.clear();
+                                    victim
+                                }
+                                PolicyKind::Lru => {
+                                    let victim;
+                                    loop {
+                                        let Reverse((stamp, c)) = lru_heap
+                                            .pop()
+                                            .expect("a live unpinned candidate must exist");
+                                        if !in_cache[c.idx()] || stamp != last_touch[c.idx()] {
+                                            counters.stale_pops += 1;
+                                            continue;
+                                        }
+                                        if pinned_mark[c.idx()] == step_tag {
+                                            stash.push((stamp, c));
+                                            counters.pinned_stashes += 1;
+                                            continue;
+                                        }
+                                        victim = c;
+                                        break;
+                                    }
+                                    for &(k, c) in stash.iter() {
+                                        lru_heap.push(Reverse((k, c)));
+                                    }
+                                    stash.clear();
+                                    victim
+                                }
+                                PolicyKind::Other => {
+                                    // Candidates in cache-insertion order, as
+                                    // the reference engine presents them.
+                                    candidates.clear();
+                                    next_use_buf.clear();
+                                    for &w in cache_list.iter() {
+                                        if pinned_mark[w.idx()] != step_tag {
+                                            candidates.push(w);
+                                            next_use_buf.push(
+                                                uses.row(w.idx())
+                                                    .get(use_ptr[w.idx()] as usize)
+                                                    .copied()
+                                                    .unwrap_or(u64::MAX),
+                                            );
+                                        }
+                                    }
+                                    let i = policy.choose_victim(candidates, next_use_buf);
+                                    candidates[i]
+                                }
+                            };
+                            counters.policy_evictions += 1;
+                            if dirty[victim.idx()] && !stored[victim.idx()] {
+                                stats.stores += 1;
+                                stored[victim.idx()] = true;
+                                if record {
+                                    actions.push(Action::Store(victim));
+                                }
+                            }
+                            cache_remove!(victim);
+                            if opts.record_victims {
+                                victims.push(victim);
+                            }
+                            if record {
+                                actions.push(Action::Drop(victim));
+                            }
                         }
-                        use_ptr[w.idx()] = p;
-                        us.get(p).copied().unwrap_or(u64::MAX)
-                    })
-                    .collect();
-                let victim = candidates[policy.choose_victim(&candidates, &next_use)];
-                if dirty[victim.idx()] && !stored[victim.idx()] {
-                    stats.stores += 1;
-                    stored[victim.idx()] = true;
-                    if record {
-                        actions.push(Action::Store(victim));
                     }
-                }
-                let pos = cache_pos[victim.idx()];
-                let last = *cache_list.last().unwrap();
-                cache_list.swap_remove(pos);
-                if last != victim {
-                    cache_pos[last.idx()] = pos;
-                }
-                in_cache[victim.idx()] = false;
-                cache_pos[victim.idx()] = usize::MAX;
-                if record {
-                    actions.push(Action::Drop(victim));
-                }
-            };
+                }};
+            }
 
             // Load missing operands.
             for &p in g.preds(v) {
                 if in_cache[p.idx()] {
-                    policy.on_touch(p, time);
-                    time += 1;
+                    touch!(p);
                     continue;
                 }
                 debug_assert!(
                     g.is_input(p) || stored[p.idx()],
                     "invariant violated: evicted live value {p:?} was not stored"
                 );
-                ensure_slot(
-                    &mut stats,
-                    &mut actions,
-                    &mut in_cache,
-                    &mut cache_list,
-                    &mut cache_pos,
-                    &mut dirty,
-                    &mut stored,
-                    &remaining_uses,
-                    &mut use_ptr,
-                    policy,
-                );
+                ensure_slot!();
                 cache_insert!(p);
                 dirty[p.idx()] = false;
                 stats.loads += 1;
                 if record {
                     actions.push(Action::Load(p));
                 }
-                policy.on_touch(p, time);
-                time += 1;
+                refresh_next_use!(p);
+                touch!(p);
             }
 
             // Compute v.
-            ensure_slot(
-                &mut stats,
-                &mut actions,
-                &mut in_cache,
-                &mut cache_list,
-                &mut cache_pos,
-                &mut dirty,
-                &mut stored,
-                &remaining_uses,
-                &mut use_ptr,
-                policy,
-            );
+            ensure_slot!();
             cache_insert!(v);
-            computed[v.idx()] = true;
             dirty[v.idx()] = true;
             stats.computes += 1;
             if record {
                 actions.push(Action::Compute(v));
             }
-            policy.on_touch(v, time);
-            time += 1;
+            refresh_next_use!(v);
+            touch!(v);
+            if !g.is_output(v) && remaining_uses[v.idx()] == 0 {
+                // Dead at birth: the only way a dead value stays in cache.
+                dead_heap.push(Reverse(v));
+            }
 
             // Consume one use of each operand; drop operands that died.
             for &p in g.preds(v) {
                 remaining_uses[p.idx()] -= 1;
-                if in_cache[p.idx()] && is_dead(p, &remaining_uses, &stored) && p != v {
-                    cache_remove!(p);
-                    if record {
-                        actions.push(Action::Drop(p));
+                use_ptr[p.idx()] += 1;
+                if in_cache[p.idx()] && p != v {
+                    if remaining_uses[p.idx()] == 0 && (!g.is_output(p) || stored[p.idx()]) {
+                        cache_remove!(p);
+                        if record {
+                            actions.push(Action::Drop(p));
+                        }
+                    } else {
+                        refresh_next_use!(p);
                     }
                 }
             }
@@ -281,17 +532,25 @@ impl<'g> AutoScheduler<'g> {
             }
         }
 
-        (stats, record.then_some(Schedule { actions }))
+        RunOutput {
+            stats,
+            schedule: record.then_some(Schedule { actions }),
+            victims: opts.record_victims.then_some(victims),
+            counters,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::reference::ReferenceScheduler;
     use super::*;
     use crate::orders;
-    use crate::policy::{Belady, Lru};
+    use crate::policy::{Belady, Lru, RandomEvict};
     use crate::sim::simulate;
     use mmio_cdag::build::build_cdag;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     use crate::testutil::classical2_base;
 
@@ -365,5 +624,110 @@ mod tests {
     fn cache_too_small_panics() {
         let g = build_cdag(&classical2_base(), 1);
         let _ = AutoScheduler::new(&g, 2);
+    }
+
+    #[test]
+    fn try_new_reports_need() {
+        let g = build_cdag(&classical2_base(), 1);
+        let err = AutoScheduler::try_new(&g, 2).err().unwrap();
+        assert_eq!(err.m, 2);
+        assert!(err.need > 2);
+        assert_eq!(
+            err.to_string(),
+            format!(
+                "cache size 2 cannot hold an operand set ({} needed)",
+                err.need
+            )
+        );
+        assert!(AutoScheduler::try_new(&g, err.need).is_ok());
+    }
+
+    /// The equivalence contract: identical stats, schedule, and eviction
+    /// sequence vs the reference scan engine, for every policy kind.
+    #[test]
+    fn fast_engine_matches_reference_exactly() {
+        let g = build_cdag(&classical2_base(), 2);
+        let opts = RunOptions {
+            record_schedule: true,
+            record_victims: true,
+        };
+        for order in [orders::rank_order(&g), orders::recursive_order(&g)] {
+            for m in [8usize, 10, 16, 32, 64] {
+                for which in ["lru", "belady", "random"] {
+                    let mut fast_policy: Box<dyn crate::policy::ReplacementPolicy> = match which {
+                        "lru" => Box::new(Lru::new(g.n_vertices())),
+                        "belady" => Box::new(Belady),
+                        _ => Box::new(RandomEvict::new(StdRng::seed_from_u64(42))),
+                    };
+                    let mut ref_policy: Box<dyn crate::policy::ReplacementPolicy> = match which {
+                        "lru" => Box::new(Lru::new(g.n_vertices())),
+                        "belady" => Box::new(Belady),
+                        _ => Box::new(RandomEvict::new(StdRng::seed_from_u64(42))),
+                    };
+                    let mut scratch = SchedScratch::new();
+                    scratch.prepare(&g, &order);
+                    let fast = AutoScheduler::new(&g, m).run_prepared(
+                        &order,
+                        &mut scratch,
+                        fast_policy.as_mut(),
+                        opts,
+                    );
+                    let (rs, rsched, rvictims) =
+                        ReferenceScheduler::new(&g, m).run_traced(&order, ref_policy.as_mut());
+                    assert_eq!(fast.stats, rs, "{which} m={m}: stats diverge");
+                    assert_eq!(
+                        fast.schedule.as_ref().unwrap(),
+                        &rsched,
+                        "{which} m={m}: schedules diverge"
+                    );
+                    assert_eq!(
+                        fast.victims.as_ref().unwrap(),
+                        &rvictims,
+                        "{which} m={m}: victim sequences diverge"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Scratch reuse across runs with different policies and cache sizes
+    /// must not leak state between runs.
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let g = build_cdag(&classical2_base(), 2);
+        let order = orders::recursive_order(&g);
+        let mut scratch = SchedScratch::new();
+        scratch.prepare(&g, &order);
+        let opts = RunOptions::default();
+        let mut io = Vec::new();
+        for _ in 0..2 {
+            for m in [8usize, 32] {
+                let a = AutoScheduler::new(&g, m)
+                    .run_prepared(&order, &mut scratch, &mut Belady, opts)
+                    .stats;
+                let b = AutoScheduler::new(&g, m)
+                    .run_prepared(&order, &mut scratch, &mut Lru::new(g.n_vertices()), opts)
+                    .stats;
+                io.push((a, b));
+            }
+        }
+        assert_eq!(io[0], io[2]);
+        assert_eq!(io[1], io[3]);
+    }
+
+    #[test]
+    fn counters_report_engine_activity() {
+        let g = build_cdag(&classical2_base(), 2);
+        let order = orders::recursive_order(&g);
+        let mut scratch = SchedScratch::new();
+        scratch.prepare(&g, &order);
+        let out = AutoScheduler::new(&g, 8).run_prepared(
+            &order,
+            &mut scratch,
+            &mut Belady,
+            RunOptions::default(),
+        );
+        assert!(out.counters.policy_evictions > 0);
+        assert!(out.counters.heap_pushes > 0);
     }
 }

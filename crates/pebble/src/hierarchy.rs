@@ -13,7 +13,9 @@
 use crate::auto::AutoScheduler;
 use crate::policy::ReplacementPolicy;
 use crate::stats::IoStats;
+use crate::sweep::{self, PolicySpec};
 use mmio_cdag::{Cdag, VertexId};
+use mmio_parallel::Pool;
 use serde::Serialize;
 
 /// A memory hierarchy: strictly increasing level capacities (the last
@@ -74,6 +76,28 @@ impl Hierarchy {
             boundary_io,
         }
     }
+
+    /// Like [`Hierarchy::measure`], but runs the boundaries as a pooled
+    /// [`sweep`](crate::sweep) over the level sizes. Deterministic at any
+    /// thread count; the policy is given as a [`PolicySpec`] so each
+    /// boundary instantiates a fresh, identically-seeded instance.
+    pub fn measure_pooled(
+        &self,
+        g: &Cdag,
+        order: &[VertexId],
+        policy: PolicySpec,
+        pool: &Pool,
+    ) -> HierarchyTraffic {
+        let orders: [&[VertexId]; 1] = [order];
+        let boundary_io = sweep::sweep(g, &orders, &[policy], &self.levels, pool)
+            .iter()
+            .map(|pt| pt.stats().io())
+            .collect();
+        HierarchyTraffic {
+            level_sizes: self.levels.clone(),
+            boundary_io,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -109,5 +133,22 @@ mod tests {
     #[should_panic(expected = "strictly increasing")]
     fn levels_must_increase() {
         let _ = Hierarchy::new(vec![8, 8]);
+    }
+
+    #[test]
+    fn pooled_measure_matches_serial() {
+        let g = build_cdag(&classical2_base(), 3);
+        let order = recursive_order(&g);
+        let h = Hierarchy::new(vec![8, 32, 128, 512]);
+        let direct = h.measure(&g, &order, || Box::new(Belady));
+        for threads in [1usize, 2, 8] {
+            let pooled = h.measure_pooled(
+                &g,
+                &order,
+                PolicySpec::Belady,
+                &mmio_parallel::Pool::new(threads),
+            );
+            assert_eq!(pooled.boundary_io, direct.boundary_io, "threads={threads}");
+        }
     }
 }

@@ -30,7 +30,14 @@
 //! - [`game`]: exact minimum-I/O search for tiny CDAGs (0-1 Dijkstra over
 //!   pebbling states), used to validate the scheduler against ground truth;
 //! - [`blocked`]: the classical blocked-multiplication I/O model
-//!   (Hong–Kung `Θ(n³/√M)`), the baseline of experiment E10.
+//!   (Hong–Kung `Θ(n³/√M)`), the baseline of experiment E10;
+//! - [`sweep`]: pooled batch runs of (order × policy × M) grids with
+//!   deterministic, thread-count-independent results.
+//!
+//! [`auto`] is the amortized-O(log M) heap-based engine; the original
+//! scan-based engine survives as [`auto::reference`] and every release is
+//! held to an exact equivalence contract between the two (same stats, same
+//! schedules, same eviction sequences — see `tests/engine_equivalence.rs`).
 //!
 //! ```
 //! use mmio_algos::strassen::strassen;
@@ -44,6 +51,10 @@
 //! assert_eq!(stats.computes as usize, order.len());
 //! ```
 
+// The scheduler engine is the hot loop of every upper-bound experiment;
+// performance lints are errors here, not suggestions.
+#![deny(clippy::perf)]
+
 pub mod auto;
 pub mod blocked;
 pub mod game;
@@ -53,11 +64,13 @@ pub mod policy;
 pub mod schedule;
 pub mod sim;
 pub mod stats;
+pub mod sweep;
 pub mod trace;
 
-pub use auto::AutoScheduler;
+pub use auto::{AutoScheduler, CacheTooSmall, RunOptions, RunOutput, SchedScratch};
 pub use schedule::{Action, Schedule};
-pub use stats::IoStats;
+pub use stats::{EngineCounters, IoStats};
+pub use sweep::{GridPoint, PolicySpec, SweepError, SweepPoint, SweepRun};
 
 #[cfg(test)]
 pub(crate) mod testutil {

@@ -9,6 +9,33 @@
 use mmio_cdag::VertexId;
 use rand::Rng;
 
+/// How the fast engine in [`crate::auto`] may specialize a policy.
+///
+/// A policy that returns [`PolicyKind::Lru`] or [`PolicyKind::Belady`]
+/// promises that its [`ReplacementPolicy::choose_victim`] implements exactly
+/// the canonical rule below, which lets the engine replace the per-eviction
+/// candidate scan with an amortized-O(log M) lazy-invalidation heap:
+///
+/// - **LRU**: minimize `(last_touch, VertexId)` — least-recently touched,
+///   ties (impossible under the scheduler's monotone clock, but defined
+///   anyway) broken toward the smaller vertex id;
+/// - **Belady**: maximize `(next_use, Reverse(VertexId))` — farthest next
+///   use, ties broken toward the smaller vertex id.
+///
+/// [`PolicyKind::Other`] policies are driven through `choose_victim` with
+/// the candidate list in cache-insertion order (the order the reference
+/// engine has always used), so stateful or randomized policies see the
+/// identical call sequence in both engines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Canonical least-recently-used (heap-accelerated).
+    Lru,
+    /// Canonical Belady MIN (heap-accelerated).
+    Belady,
+    /// Anything else: the engine falls back to `choose_victim`.
+    Other,
+}
+
 /// A replacement policy: asked to rank eviction candidates.
 ///
 /// The scheduler always prefers evicting *dead* values (never used again,
@@ -21,9 +48,18 @@ pub trait ReplacementPolicy {
     /// Chooses which of `candidates` (all live, all cached) to evict.
     /// `next_use[i]` is the compute-order position of the candidate's next
     /// use (`u64::MAX` if none); LRU ignores it, Belady uses it.
+    ///
+    /// The choice must either be independent of the candidates' order (LRU,
+    /// Belady — both use a total key with a VertexId tie-break) or accept
+    /// that it sees candidates in cache-insertion order (random).
     fn choose_victim(&mut self, candidates: &[VertexId], next_use: &[u64]) -> usize;
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+    /// Which canonical rule (if any) this policy implements; see
+    /// [`PolicyKind`]. Defaults to [`PolicyKind::Other`].
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Other
+    }
 }
 
 /// Least-recently-used.
@@ -46,15 +82,15 @@ impl ReplacementPolicy for Lru {
         self.last_touch[v.idx()] = time;
     }
     fn choose_victim(&mut self, candidates: &[VertexId], _next_use: &[u64]) -> usize {
-        candidates
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, v)| self.last_touch[v.idx()])
-            .map(|(i, _)| i)
+        (0..candidates.len())
+            .min_by_key(|&i| (self.last_touch[candidates[i].idx()], candidates[i]))
             .expect("no eviction candidates")
     }
     fn name(&self) -> &'static str {
         "lru"
+    }
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Lru
     }
 }
 
@@ -65,16 +101,16 @@ pub struct Belady;
 
 impl ReplacementPolicy for Belady {
     fn on_touch(&mut self, _v: VertexId, _time: u64) {}
-    fn choose_victim(&mut self, _candidates: &[VertexId], next_use: &[u64]) -> usize {
-        next_use
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &u)| u)
-            .map(|(i, _)| i)
+    fn choose_victim(&mut self, candidates: &[VertexId], next_use: &[u64]) -> usize {
+        (0..candidates.len())
+            .max_by_key(|&i| (next_use[i], std::cmp::Reverse(candidates[i])))
             .expect("no eviction candidates")
     }
     fn name(&self) -> &'static str {
         "belady"
+    }
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Belady
     }
 }
 

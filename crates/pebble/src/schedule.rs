@@ -21,7 +21,7 @@ pub enum Action {
 
 /// An explicit schedule: the exhaustive record of a run, checkable by
 /// [`crate::sim::simulate`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Schedule {
     /// The actions, in execution order.
     pub actions: Vec<Action>,

@@ -1,9 +1,13 @@
 //! Strict simulation of explicit schedules against the model rules.
+//!
+//! Cache state is a membership bitmap (`Vec<bool>`) plus an occupancy
+//! counter — the simulator only ever asks "is v cached?" and "how many are
+//! cached?", so the old `HashSet` bought nothing but hashing overhead on
+//! the validation path of every recorded schedule.
 
 use crate::schedule::{Action, Schedule};
 use crate::stats::IoStats;
 use mmio_cdag::{Cdag, VertexId};
-use std::collections::HashSet;
 
 /// A violation of the machine-model rules.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,8 +38,16 @@ pub enum SimError {
 ///
 /// The terminal conditions require *all* vertices computed (the schedule is
 /// for the whole algorithm) and all outputs stored.
+///
+/// Error precedence is part of the contract (pinned by regression tests):
+/// `Load` checks availability, then double-caching, then capacity; `Compute`
+/// checks input-ness, recomputation, then *every operand* (in predecessor
+/// order) before capacity — a compute into a full cache with a missing
+/// operand is a [`SimError::MissingOperand`], never a
+/// [`SimError::CacheFull`].
 pub fn simulate(g: &Cdag, schedule: &Schedule, m: usize) -> Result<IoStats, SimError> {
-    let mut cache: HashSet<VertexId> = HashSet::new();
+    let mut in_cache = vec![false; g.n_vertices()];
+    let mut occupancy: usize = 0;
     let mut computed = vec![false; g.n_vertices()];
     let mut stored = vec![false; g.n_vertices()];
     let mut stats = IoStats::default();
@@ -47,26 +59,29 @@ pub fn simulate(g: &Cdag, schedule: &Schedule, m: usize) -> Result<IoStats, SimE
                 if !in_slow {
                     return Err(SimError::LoadUnavailable(v));
                 }
-                if cache.contains(&v) {
+                if in_cache[v.idx()] {
                     return Err(SimError::AlreadyCached(v));
                 }
-                if cache.len() >= m {
+                if occupancy >= m {
                     return Err(SimError::CacheFull(v));
                 }
-                cache.insert(v);
+                in_cache[v.idx()] = true;
+                occupancy += 1;
                 stats.loads += 1;
             }
             Action::Store(v) => {
-                if !cache.contains(&v) {
+                if !in_cache[v.idx()] {
                     return Err(SimError::NotCached(v));
                 }
                 stored[v.idx()] = true;
                 stats.stores += 1;
             }
             Action::Drop(v) => {
-                if !cache.remove(&v) {
+                if !in_cache[v.idx()] {
                     return Err(SimError::NotCached(v));
                 }
+                in_cache[v.idx()] = false;
+                occupancy -= 1;
             }
             Action::Compute(v) => {
                 if g.is_input(v) {
@@ -76,17 +91,18 @@ pub fn simulate(g: &Cdag, schedule: &Schedule, m: usize) -> Result<IoStats, SimE
                     return Err(SimError::Recompute(v));
                 }
                 for &p in g.preds(v) {
-                    if !cache.contains(&p) {
+                    if !in_cache[p.idx()] {
                         return Err(SimError::MissingOperand {
                             vertex: v,
                             operand: p,
                         });
                     }
                 }
-                if cache.len() >= m {
+                if occupancy >= m {
                     return Err(SimError::CacheFull(v));
                 }
-                cache.insert(v);
+                in_cache[v.idx()] = true;
+                occupancy += 1;
                 computed[v.idx()] = true;
                 stats.computes += 1;
             }
@@ -244,6 +260,66 @@ mod tests {
         };
         let stats = simulate(&g, &s, 3).unwrap();
         assert_eq!(stats.io(), 3);
+    }
+
+    /// Satellite regression: `Compute` must report a missing operand before
+    /// noticing the cache is full — the operand loop runs first, the
+    /// capacity check reads occupancy *after* it. The bitmap rewrite keeps
+    /// this order; this test pins it.
+    #[test]
+    fn compute_missing_operand_beats_cache_full() {
+        let g = tiny();
+        let a = g.input_a(0, 0);
+        let prod = g.products().next().unwrap();
+        // M = 1: after Load(a) the cache is full, and prod's operands are
+        // absent. Both errors apply; MissingOperand must win.
+        let s = Schedule {
+            actions: vec![Action::Load(a), Action::Compute(prod)],
+        };
+        assert!(matches!(
+            simulate(&g, &s, 1),
+            Err(SimError::MissingOperand { vertex, .. }) if vertex == prod
+        ));
+    }
+
+    /// Complement of the precedence pin: with all operands present, the same
+    /// full cache *is* a `CacheFull`.
+    #[test]
+    fn compute_cache_full_when_operands_present() {
+        let g = tiny();
+        let a = g.input_a(0, 0);
+        let b = g.input_b(0, 0);
+        let combo_a = g.succs(a)[0];
+        let s = Schedule {
+            actions: vec![Action::Load(a), Action::Load(b), Action::Compute(combo_a)],
+        };
+        assert_eq!(simulate(&g, &s, 2), Err(SimError::CacheFull(combo_a)));
+    }
+
+    /// `Load` precedence: availability, then double-caching, then capacity.
+    #[test]
+    fn load_error_precedence() {
+        let g = tiny();
+        let a = g.input_a(0, 0);
+        let combo_a = g.succs(a)[0];
+        // Already cached beats cache-full at M = 1.
+        let s = Schedule {
+            actions: vec![Action::Load(a), Action::Load(a)],
+        };
+        assert_eq!(simulate(&g, &s, 1), Err(SimError::AlreadyCached(a)));
+        // Unavailable beats already-cached: combo_a is in cache (computed)
+        // but was never stored, so it does not reside in slow memory.
+        let s = Schedule {
+            actions: vec![
+                Action::Load(a),
+                Action::Compute(combo_a),
+                Action::Load(combo_a),
+            ],
+        };
+        assert_eq!(
+            simulate(&g, &s, 16),
+            Err(SimError::LoadUnavailable(combo_a))
+        );
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Pooled batch sweeps of the automatic scheduler over (order × policy × M)
+//! grids.
+//!
+//! Every experiment on the upper-bound side (E1, E8, E11, E13) is a grid of
+//! independent scheduler runs. This module fans such a grid over
+//! [`mmio_parallel::Pool`] with two guarantees:
+//!
+//! - **Determinism.** Each grid point is a pure function of `(graph, order,
+//!   policy spec, M)` — policies with randomness are specified by seed, not
+//!   by a shared RNG — and `Pool::map` returns results in index order, so a
+//!   sweep's output vector is byte-identical at any thread count.
+//! - **Scratch reuse.** Each worker keeps one thread-local [`SchedScratch`];
+//!   the CSR use-lists are rebuilt only when a worker switches to a
+//!   different order, so the (policy, M) inner grid reuses both the
+//!   use-lists and every per-run allocation.
+//!
+//! Infeasible grid points (`M < max_indegree + 1`) report a typed
+//! [`SweepError`] in their slot instead of aborting the sweep — the
+//! scheduler is constructed with [`AutoScheduler::try_new`].
+
+use crate::auto::{AutoScheduler, RunOptions, SchedScratch};
+use crate::policy::{Belady, Lru, RandomEvict, ReplacementPolicy};
+use crate::stats::{EngineCounters, IoStats};
+use mmio_cdag::{Cdag, VertexId};
+use mmio_parallel::Pool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Serialize, Value};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A replacement policy *specification*: value-typed, so a grid point can be
+/// shipped to a worker and instantiated there. Randomized policies carry
+/// their seed — two instantiations of the same spec behave identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// Least-recently-used.
+    Lru,
+    /// Belady's MIN.
+    Belady,
+    /// Uniform-random eviction with a fixed seed.
+    Random {
+        /// Seed for the per-run `StdRng`.
+        seed: u64,
+    },
+}
+
+impl PolicySpec {
+    /// Builds a fresh policy instance for a graph with `n` vertices.
+    pub fn instantiate(&self, n: usize) -> Box<dyn ReplacementPolicy> {
+        match *self {
+            PolicySpec::Lru => Box::new(Lru::new(n)),
+            PolicySpec::Belady => Box::new(Belady),
+            PolicySpec::Random { seed } => Box::new(RandomEvict::new(StdRng::seed_from_u64(seed))),
+        }
+    }
+
+    /// The policy's report name (matches [`ReplacementPolicy::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Lru => "lru",
+            PolicySpec::Belady => "belady",
+            PolicySpec::Random { .. } => "random",
+        }
+    }
+}
+
+impl Serialize for PolicySpec {
+    fn to_value(&self) -> Value {
+        match *self {
+            PolicySpec::Random { seed } => Value::Object(vec![
+                ("name".to_string(), Value::Str("random".to_string())),
+                ("seed".to_string(), Value::UInt(seed)),
+            ]),
+            spec => Value::Str(spec.name().to_string()),
+        }
+    }
+}
+
+/// One cell of a sweep grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct GridPoint {
+    /// Index into the sweep's `orders` slice.
+    pub order: usize,
+    /// The policy specification.
+    pub policy: PolicySpec,
+    /// Cache size.
+    pub m: usize,
+}
+
+/// Why a grid point could not run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepError {
+    /// `M` cannot hold an operand set: the scheduler needs `need` slots.
+    CacheTooSmall {
+        /// The requested cache size.
+        m: usize,
+        /// The minimum feasible cache size.
+        need: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SweepError::CacheTooSmall { m, need } => {
+                write!(
+                    f,
+                    "cache size {m} cannot hold an operand set ({need} needed)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl Serialize for SweepError {
+    fn to_value(&self) -> Value {
+        match *self {
+            SweepError::CacheTooSmall { m, need } => Value::Object(vec![
+                (
+                    "error".to_string(),
+                    Value::Str("cache_too_small".to_string()),
+                ),
+                ("m".to_string(), Value::UInt(m as u64)),
+                ("need".to_string(), Value::UInt(need as u64)),
+            ]),
+        }
+    }
+}
+
+/// The measurements of one successful grid point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct SweepRun {
+    /// Exact I/O statistics.
+    pub stats: IoStats,
+    /// Fast-engine event counters for this run.
+    pub counters: EngineCounters,
+}
+
+/// One sweep result: the grid point plus its outcome.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepPoint {
+    /// The grid cell this result belongs to.
+    pub point: GridPoint,
+    /// The run's measurements, or why it could not run.
+    pub result: Result<SweepRun, SweepError>,
+}
+
+impl Serialize for SweepPoint {
+    fn to_value(&self) -> Value {
+        let result = match &self.result {
+            Ok(run) => run.to_value(),
+            Err(e) => e.to_value(),
+        };
+        Value::Object(vec![
+            ("point".to_string(), self.point.to_value()),
+            ("result".to_string(), result),
+        ])
+    }
+}
+
+impl SweepPoint {
+    /// The run's [`IoStats`], panicking on an infeasible point — the
+    /// convenience accessor for experiment bins whose grids are known
+    /// feasible.
+    pub fn stats(&self) -> IoStats {
+        match self.result {
+            Ok(run) => run.stats,
+            Err(e) => panic!("grid point {:?} failed: {e}", self.point),
+        }
+    }
+}
+
+/// Distinguishes scratch prepared for one sweep's order from a leftover
+/// prepared by an earlier sweep on the same thread (the serial pool runs
+/// inline on the caller's thread, whose thread-local outlives the call).
+static SWEEP_GEN: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static SCRATCH: RefCell<(u64, SchedScratch)> =
+        RefCell::new((u64::MAX, SchedScratch::new()));
+}
+
+/// Runs the full `orders × policies × ms` grid (order-major, then policy,
+/// then M) on `pool` and returns one [`SweepPoint`] per cell, in grid
+/// order. The output is identical for every thread count.
+pub fn sweep(
+    g: &Cdag,
+    orders: &[&[VertexId]],
+    policies: &[PolicySpec],
+    ms: &[usize],
+    pool: &Pool,
+) -> Vec<SweepPoint> {
+    let mut grid: Vec<GridPoint> = Vec::with_capacity(orders.len() * policies.len() * ms.len());
+    for order in 0..orders.len() {
+        for &policy in policies {
+            for &m in ms {
+                grid.push(GridPoint { order, policy, m });
+            }
+        }
+    }
+    let gen = SWEEP_GEN.fetch_add(orders.len() as u64, Ordering::Relaxed);
+    let n = g.n_vertices();
+
+    pool.map(grid.len(), |i| {
+        let point = grid[i];
+        let result = match AutoScheduler::try_new(g, point.m) {
+            Err(e) => Err(SweepError::CacheTooSmall {
+                m: e.m,
+                need: e.need,
+            }),
+            Ok(sched) => SCRATCH.with(|cell| {
+                let (token, scratch) = &mut *cell.borrow_mut();
+                let order = orders[point.order];
+                let want = gen + point.order as u64;
+                if *token != want {
+                    scratch.prepare(g, order);
+                    *token = want;
+                }
+                let mut policy = point.policy.instantiate(n);
+                let out =
+                    sched.run_prepared(order, scratch, policy.as_mut(), RunOptions::default());
+                Ok(SweepRun {
+                    stats: out.stats,
+                    counters: out.counters,
+                })
+            }),
+        };
+        SweepPoint { point, result }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orders;
+    use crate::testutil::classical2_base;
+    use mmio_cdag::build::build_cdag;
+
+    #[test]
+    fn sweep_matches_direct_runs_at_any_thread_count() {
+        let g = build_cdag(&classical2_base(), 2);
+        let rank = orders::rank_order(&g);
+        let rec = orders::recursive_order(&g);
+        let orders: Vec<&[_]> = vec![&rank, &rec];
+        let policies = [
+            PolicySpec::Lru,
+            PolicySpec::Belady,
+            PolicySpec::Random { seed: 7 },
+        ];
+        let ms = [8usize, 16, 64];
+
+        let serial = sweep(&g, &orders, &policies, &ms, &Pool::serial());
+        for threads in [2, 8] {
+            let pooled = sweep(&g, &orders, &policies, &ms, &Pool::new(threads));
+            assert_eq!(serial, pooled, "sweep diverges at {threads} threads");
+        }
+        // Spot-check against direct scheduler runs.
+        for pt in &serial {
+            let order = orders[pt.point.order];
+            let mut policy = pt.point.policy.instantiate(g.n_vertices());
+            let direct = AutoScheduler::new(&g, pt.point.m).run(order, policy.as_mut());
+            assert_eq!(pt.stats(), direct);
+        }
+    }
+
+    #[test]
+    fn infeasible_point_reports_instead_of_aborting() {
+        let g = build_cdag(&classical2_base(), 1);
+        let rank = orders::rank_order(&g);
+        let orders: Vec<&[_]> = vec![&rank];
+        let pts = sweep(
+            &g,
+            &orders,
+            &[PolicySpec::Belady],
+            &[2, 64],
+            &Pool::serial(),
+        );
+        assert!(matches!(
+            pts[0].result,
+            Err(SweepError::CacheTooSmall { m: 2, .. })
+        ));
+        assert!(pts[1].result.is_ok());
+    }
+
+    #[test]
+    fn policy_spec_instantiation_is_reproducible() {
+        let g = build_cdag(&classical2_base(), 2);
+        let order = orders::rank_order(&g);
+        let spec = PolicySpec::Random { seed: 99 };
+        let a = AutoScheduler::new(&g, 12).run(&order, spec.instantiate(g.n_vertices()).as_mut());
+        let b = AutoScheduler::new(&g, 12).run(&order, spec.instantiate(g.n_vertices()).as_mut());
+        assert_eq!(a, b);
+    }
+}
