@@ -40,6 +40,8 @@
 //! assert_eq!(counts.leaf_mults, 343); // 7³ scalar multiplications
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod classical;
 pub mod counts;
 pub mod executor;

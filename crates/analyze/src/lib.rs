@@ -37,6 +37,8 @@
 //! assert!(report.has_code(codes::CDAG_LEMMA1));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cdag;
 pub mod codes;
 pub mod diag;

@@ -10,6 +10,7 @@
 
 use crate::codes;
 use crate::diag::{Report, Severity, Span};
+use mmio_cdag::hits::{HitCounter, UnionFind};
 use mmio_cdag::{Cdag, VertexId};
 
 /// An explicit routing claim to be audited.
@@ -34,49 +35,20 @@ pub struct RoutingAudit {
     pub max_meta_hits: u64,
 }
 
-/// Union-find over dense vertex ids: the auditor's independent copy
-/// grouping. A vertex joins its parent's group when it has exactly one
+/// The auditor's independent copy grouping: a union-find over dense vertex
+/// ids where a vertex joins its parent's group when it has exactly one
 /// predecessor and the connecting coefficient is 1 — precisely the copies of
-/// paper Section 3, re-derived from the edge data alone.
-struct CopyGroups {
-    parent: Vec<u32>,
-}
-
-impl CopyGroups {
-    fn compute(g: &Cdag) -> CopyGroups {
-        let mut uf = CopyGroups {
-            parent: (0..g.n_vertices() as u32).collect(),
-        };
-        for v in g.vertices() {
-            let preds = g.preds(v);
-            if preds.len() == 1 && g.pred_coeffs(v)[0].is_one() {
-                uf.union(v.0, preds[0].0);
-            }
-        }
-        uf
-    }
-
-    fn find(&mut self, v: u32) -> u32 {
-        let mut root = v;
-        while self.parent[root as usize] != root {
-            root = self.parent[root as usize];
-        }
-        // Path compression.
-        let mut cur = v;
-        while self.parent[cur as usize] != root {
-            let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root;
-            cur = next;
-        }
-        root
-    }
-
-    fn union(&mut self, a: u32, b: u32) {
-        let (ra, rb) = (self.find(a), self.find(b));
-        if ra != rb {
-            self.parent[ra as usize] = rb;
+/// paper Section 3, re-derived from the edge data alone (independent of
+/// [`mmio_cdag::MetaVertices`]). Returned as a flat root table.
+fn copy_group_roots(g: &Cdag) -> Vec<u32> {
+    let mut uf = UnionFind::new(g.n_vertices());
+    for v in g.vertices() {
+        let preds = g.preds(v);
+        if preds.len() == 1 && g.pred_coeffs(v)[0].is_one() {
+            uf.union(v.0, preds[0].0);
         }
     }
+    uf.roots()
 }
 
 /// The streaming form of the routing audit: the union-find copy grouping is
@@ -85,23 +57,18 @@ impl CopyGroups {
 /// Fact-1 copy of a transported routing class without reallocating.
 pub struct RoutingAuditor<'g> {
     g: &'g Cdag,
-    groups: CopyGroups,
-    vertex_hits: Vec<u64>,
-    meta_hits: Vec<u64>,
-    touched: Vec<u32>,
+    /// Shared counter, grouped by [`copy_group_roots`]. Tracks only the
+    /// structurally valid paths; `paths` counts all submitted ones.
+    counter: HitCounter,
     paths: u64,
 }
 
 impl<'g> RoutingAuditor<'g> {
     /// Creates an auditor for `g`, deriving the independent copy grouping.
     pub fn new(g: &'g Cdag) -> RoutingAuditor<'g> {
-        let n = g.n_vertices();
         RoutingAuditor {
             g,
-            groups: CopyGroups::compute(g),
-            vertex_hits: vec![0; n],
-            meta_hits: vec![0; n],
-            touched: Vec::new(),
+            counter: HitCounter::with_groups(copy_group_roots(g)),
             paths: 0,
         }
     }
@@ -109,8 +76,7 @@ impl<'g> RoutingAuditor<'g> {
     /// Clears hit counts (keeping the copy grouping and allocations) so the
     /// auditor can audit another path family over the same graph.
     pub fn reset(&mut self) {
-        self.vertex_hits.fill(0);
-        self.meta_hits.fill(0);
+        self.counter.reset();
         self.paths = 0;
     }
 
@@ -144,35 +110,25 @@ impl<'g> RoutingAuditor<'g> {
             );
             return false;
         }
-        self.touched.clear();
-        for &v in path {
-            self.vertex_hits[v.idx()] += 1;
-            self.touched.push(self.groups.find(v.0));
-        }
-        // A path hits each meta-vertex at most once (the paper's counting).
-        self.touched.sort_unstable();
-        self.touched.dedup();
-        for &root in &self.touched {
-            self.meta_hits[root as usize] += 1;
-        }
+        self.counter.add_path(path.iter().map(|v| v.0));
         true
     }
 
     /// Checks the accumulated counts against `claimed_bound`, appending
     /// overload diagnostics, and returns the measured statistics.
     pub fn finish(&self, claimed_bound: u64, report: &mut Report) -> RoutingAudit {
-        let n = self.g.n_vertices();
+        let s = self.counter.summary();
         let audit = RoutingAudit {
             paths: self.paths,
-            max_vertex_hits: self.vertex_hits.iter().copied().max().unwrap_or(0),
-            max_meta_hits: self.meta_hits.iter().copied().max().unwrap_or(0),
+            max_vertex_hits: s.max_vertex_hits,
+            max_meta_hits: s.max_group_hits,
         };
         if audit.max_vertex_hits > claimed_bound {
-            let worst = (0..n).max_by_key(|&v| self.vertex_hits[v]).unwrap_or(0);
+            let worst = self.counter.argmax_vertex().unwrap_or(0);
             report.push(
                 codes::ROUTE_VERTEX_OVERLOAD,
                 Severity::Error,
-                Span::Vertex(worst as u32),
+                Span::Vertex(worst),
                 format!(
                     "vertex lies on {} paths, exceeding the claimed bound {}",
                     audit.max_vertex_hits, claimed_bound
@@ -180,11 +136,11 @@ impl<'g> RoutingAuditor<'g> {
             );
         }
         if audit.max_meta_hits > claimed_bound {
-            let worst = (0..n).max_by_key(|&v| self.meta_hits[v]).unwrap_or(0);
+            let worst = self.counter.argmax_group().unwrap_or(0);
             report.push(
                 codes::ROUTE_META_OVERLOAD,
                 Severity::Error,
-                Span::Vertex(worst as u32),
+                Span::Vertex(worst),
                 format!(
                     "meta-vertex rooted at v{worst} is hit by {} paths, exceeding the \
                      claimed bound {}",
@@ -338,11 +294,11 @@ mod tests {
         use mmio_cdag::MetaVertices;
         let g = build_cdag(&strassen(), 2);
         let meta = MetaVertices::compute(&g);
-        let mut groups = CopyGroups::compute(&g);
+        let roots = copy_group_roots(&g);
         for v in g.vertices() {
             for w in g.vertices() {
                 let same_lib = meta.meta_of(v) == meta.meta_of(w);
-                let same_aud = groups.find(v.0) == groups.find(w.0);
+                let same_aud = roots[v.idx()] == roots[w.idx()];
                 if same_lib != same_aud {
                     panic!("grouping disagrees at {v:?},{w:?}: lib={same_lib} aud={same_aud}");
                 }

@@ -7,6 +7,8 @@
 //! Every binary prints its table to stdout and appends a machine-readable
 //! record to `results/<id>.json`.
 
+#![forbid(unsafe_code)]
+
 use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;

@@ -47,6 +47,7 @@
 // Index arithmetic and adjacency access sit on every hot path of the
 // routing engine; performance lints are errors here, not suggestions.
 #![deny(clippy::perf)]
+#![forbid(unsafe_code)]
 
 pub mod base;
 pub mod build;
@@ -55,6 +56,7 @@ pub mod csr;
 pub mod dot;
 pub mod fact1;
 pub mod graph;
+pub mod hits;
 pub mod index;
 pub mod iso;
 pub mod meta;

@@ -1,0 +1,18 @@
+//! Ad-hoc profiling: `cargo run --release -p mmio-cert --example profile_verify <file>`
+use std::time::Instant;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: profile_verify <cert.json>");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let t = Instant::now();
+    let value: serde::Value = serde_json::from_str(&text).unwrap();
+    println!("parse: {:?}", t.elapsed());
+    let t = Instant::now();
+    let cert = <mmio_cert::Certificate as serde::Deserialize>::from_value(&value).unwrap();
+    println!("decode: {:?}", t.elapsed());
+    let t = Instant::now();
+    let v = mmio_cert::verify(&cert);
+    println!("verify: {:?} accepted={}", t.elapsed(), v.accepted);
+}

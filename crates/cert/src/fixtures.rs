@@ -1,0 +1,85 @@
+//! Tiny hand-built certificates over the 1×1 "unit" algorithm — the
+//! smallest complete witnesses of each kind. Used by the crate's own tests,
+//! the mutation harness, and the golden corpus as known-good baselines that
+//! need no engine to produce.
+
+use crate::format::{
+    BaseSpec, Certificate, Payload, RoutingPayload, SchedulePayload, SweepPayload,
+};
+use mmio_matrix::{Matrix, Rational};
+
+/// The 1×1 algorithm: one multiplication, all coefficients 1.
+pub fn unit_base() -> BaseSpec {
+    let one = Matrix::from_vec(1, 1, vec![Rational::ONE]);
+    BaseSpec {
+        name: "unit".into(),
+        n0: 1,
+        enc_a: one.clone(),
+        enc_b: one.clone(),
+        dec: one,
+    }
+}
+
+/// A correct routing certificate for unit `G_1` (6 vertices in two chains
+/// through the product): both (input, output) pairs routed, peak vertex
+/// and copy-group congestion 2, one transport copy.
+pub fn unit_routing() -> Certificate {
+    // Dense ids: EncA 0 (input), 1 (combo); EncB 2 (input), 3 (combo);
+    // Dec 4 (product), 5 (output).
+    Certificate::new(
+        unit_base(),
+        Payload::Routing(RoutingPayload {
+            k: 1,
+            r: 1,
+            bound: 6,
+            max_vertex_hits: 2,
+            max_meta_hits: 2,
+            paths: vec![vec![0, 1, 4, 5], vec![2, 3, 4, 5]],
+            copy_prefixes: vec![0],
+        }),
+    )
+}
+
+/// A legal, claim-consistent schedule certificate for unit `G_1` under
+/// `M = 5` (its true peak occupancy).
+pub fn unit_schedule() -> Certificate {
+    Certificate::new(
+        unit_base(),
+        Payload::Schedule(SchedulePayload {
+            r: 1,
+            m: 5,
+            ops: "LCLCCDDDCSD".into(),
+            vertices: vec![0, 1, 2, 3, 4, 0, 2, 1, 5, 5, 3],
+            loads: 2,
+            stores: 1,
+            computes: 4,
+            peak_occupancy: 5,
+            res_vertex: vec![0, 1, 2, 3, 4, 5],
+            res_start: vec![0, 1, 2, 3, 4, 8],
+            res_end: vec![5, 7, 6, 10, 11, 11],
+        }),
+    )
+}
+
+/// A floor-consistent sweep certificate for unit `G_1`: one infeasible and
+/// one feasible grid point (`need = 3`, 2 used inputs, 1 output, 4
+/// computes).
+pub fn unit_sweep() -> Certificate {
+    Certificate::new(
+        unit_base(),
+        Payload::Sweep(SweepPayload {
+            r: 1,
+            policy: "lru".into(),
+            ms: vec![2, 5],
+            feasible: vec![false, true],
+            loads: vec![0, 2],
+            stores: vec![0, 1],
+            computes: vec![0, 4],
+        }),
+    )
+}
+
+/// All three fixture certificates.
+pub fn all() -> Vec<Certificate> {
+    vec![unit_routing(), unit_schedule(), unit_sweep()]
+}

@@ -1,0 +1,317 @@
+//! Systematic certificate corruptions for mutation-testing the verifier.
+//!
+//! A verifier that accepts everything is worse than none: it launders lies
+//! into "proofs". The only way to trust a checker is to feed it lies and
+//! watch it object. [`mutants_for`] derives, from any *valid* certificate,
+//! a battery of corrupted variants, each recording which reject codes a
+//! sound verifier may raise for it. The harness (`mmio-check`'s
+//! `cert_mutate` binary and this crate's tests) demands a 100% kill rate —
+//! every mutant rejected with at least one expected code — and zero false
+//! rejects on the uncorrupted originals.
+//!
+//! Mutations are semantic, not byte-level: each one tells a specific,
+//! plausible lie (a hop swapped, a counter off by one, an occupancy
+//! understated, a transport prefix out of range, a stale version stamp) so
+//! a surviving mutant pinpoints the check that is missing or too lax.
+
+use crate::codes;
+use crate::format::{Certificate, Payload};
+use crate::verify::Verdict;
+
+/// One corrupted certificate plus the reject codes that justify killing it.
+pub struct Mutant {
+    /// Stable mutation name (used in harness reports).
+    pub name: &'static str,
+    /// The corrupted certificate.
+    pub cert: Certificate,
+    /// Codes a sound verifier may raise; at least one must appear.
+    pub expected: &'static [&'static str],
+}
+
+impl Mutant {
+    /// Whether `verdict` kills this mutant: rejected, with at least one of
+    /// the expected codes among the rejections.
+    pub fn is_killed_by(&self, verdict: &Verdict) -> bool {
+        !verdict.accepted && self.expected.iter().any(|c| verdict.has_code(c))
+    }
+}
+
+fn mutant(
+    name: &'static str,
+    expected: &'static [&'static str],
+    base: &Certificate,
+    corrupt: impl FnOnce(&mut Certificate),
+) -> Mutant {
+    let mut cert = base.clone();
+    corrupt(&mut cert);
+    Mutant {
+        name,
+        cert,
+        expected,
+    }
+}
+
+/// Derives every applicable mutation of a (presumed valid) certificate.
+pub fn mutants_for(cert: &Certificate) -> Vec<Mutant> {
+    let mut out = Vec::new();
+
+    out.push(mutant(
+        "stale-format-version",
+        &[codes::V_VERSION],
+        cert,
+        |c| c.version += 1,
+    ));
+    out.push(mutant(
+        "tensor-coefficient-flip",
+        &[codes::V_BASE_INVALID],
+        cert,
+        |c| {
+            use mmio_matrix::Rational;
+            let cur = c.base.dec[(0, 0)];
+            c.base.dec[(0, 0)] = if cur.is_zero() {
+                Rational::ONE
+            } else {
+                Rational::ZERO
+            };
+        },
+    ));
+
+    match &cert.payload {
+        Payload::Routing(p) => {
+            if p.paths.first().is_some_and(|p0| p0.len() >= 2) {
+                out.push(mutant(
+                    "path-edge-swap",
+                    &[codes::V_ROUTE_NON_EDGE],
+                    cert,
+                    |c| {
+                        if let Payload::Routing(p) = &mut c.payload {
+                            // A self-hop is never an edge.
+                            p.paths[0][1] = p.paths[0][0];
+                        }
+                    },
+                ));
+            }
+            if !p.paths.is_empty() {
+                out.push(mutant(
+                    "path-drop",
+                    &[codes::V_ROUTE_PATH_COUNT, codes::V_ROUTE_PAIRS],
+                    cert,
+                    |c| {
+                        if let Payload::Routing(p) = &mut c.payload {
+                            p.paths.pop();
+                        }
+                    },
+                ));
+            }
+            out.push(mutant(
+                "hit-count-off-by-one",
+                &[codes::V_ROUTE_CLAIM_MISMATCH],
+                cert,
+                |c| {
+                    if let Payload::Routing(p) = &mut c.payload {
+                        p.max_vertex_hits += 1;
+                    }
+                },
+            ));
+            out.push(mutant(
+                "bound-inflate",
+                &[codes::V_ROUTE_BOUND],
+                cert,
+                |c| {
+                    if let Payload::Routing(p) = &mut c.payload {
+                        p.bound += 1;
+                    }
+                },
+            ));
+            if !p.copy_prefixes.is_empty() {
+                out.push(mutant(
+                    "transport-prefix-lie",
+                    &[codes::V_ROUTE_TRANSPORT],
+                    cert,
+                    |c| {
+                        if let Payload::Routing(p) = &mut c.payload {
+                            // Far outside [0, b^{r-k}) for any real graph.
+                            *p.copy_prefixes.last_mut().unwrap() = u64::MAX;
+                        }
+                    },
+                ));
+            }
+            if p.copy_prefixes.len() >= 2 {
+                out.push(mutant(
+                    "transport-prefix-dup",
+                    &[codes::V_ROUTE_TRANSPORT],
+                    cert,
+                    |c| {
+                        if let Payload::Routing(p) = &mut c.payload {
+                            *p.copy_prefixes.last_mut().unwrap() = p.copy_prefixes[0];
+                        }
+                    },
+                ));
+            }
+        }
+        Payload::Schedule(p) => {
+            let first =
+                |p: &crate::format::SchedulePayload, op: char| p.ops.chars().position(|o| o == op);
+            if first(p, 'L').is_some() {
+                out.push(mutant(
+                    "elide-load",
+                    &[
+                        codes::V_SCHED_MISSING_OPERAND,
+                        codes::V_SCHED_BAD_LOAD,
+                        codes::V_SCHED_COUNTER_MISMATCH,
+                    ],
+                    cert,
+                    |c| {
+                        if let Payload::Schedule(p) = &mut c.payload {
+                            let i = p.ops.chars().position(|o| o == 'L').unwrap();
+                            p.ops.remove(i);
+                            p.vertices.remove(i);
+                        }
+                    },
+                ));
+            }
+            if first(p, 'S').is_some() {
+                out.push(mutant(
+                    "elide-store",
+                    &[
+                        codes::V_SCHED_INCOMPLETE,
+                        codes::V_SCHED_BAD_LOAD,
+                        codes::V_SCHED_COUNTER_MISMATCH,
+                    ],
+                    cert,
+                    |c| {
+                        if let Payload::Schedule(p) = &mut c.payload {
+                            let i = p.ops.chars().position(|o| o == 'S').unwrap();
+                            p.ops.remove(i);
+                            p.vertices.remove(i);
+                        }
+                    },
+                ));
+            }
+            if p.peak_occupancy > 0 {
+                out.push(mutant(
+                    "occupancy-understate",
+                    &[codes::V_SCHED_WITNESS_MISMATCH],
+                    cert,
+                    |c| {
+                        if let Payload::Schedule(p) = &mut c.payload {
+                            p.peak_occupancy -= 1;
+                        }
+                    },
+                ));
+            }
+            out.push(mutant(
+                "counter-lie",
+                &[codes::V_SCHED_COUNTER_MISMATCH],
+                cert,
+                |c| {
+                    if let Payload::Schedule(p) = &mut c.payload {
+                        p.loads += 1;
+                    }
+                },
+            ));
+            if !p.res_end.is_empty() {
+                out.push(mutant(
+                    "residency-stretch",
+                    &[codes::V_SCHED_WITNESS_MISMATCH],
+                    cert,
+                    |c| {
+                        if let Payload::Schedule(p) = &mut c.payload {
+                            p.res_end[0] += 1;
+                        }
+                    },
+                ));
+            }
+        }
+        Payload::Sweep(p) => {
+            let feas = p.feasible.iter().position(|&f| f);
+            if feas.is_some() {
+                out.push(mutant(
+                    "sweep-work-lie",
+                    &[codes::V_SWEEP_WORK],
+                    cert,
+                    |c| {
+                        if let Payload::Sweep(p) = &mut c.payload {
+                            let i = p.feasible.iter().position(|&f| f).unwrap();
+                            p.computes[i] += 1;
+                        }
+                    },
+                ));
+                out.push(mutant(
+                    "sweep-floor-lie",
+                    &[codes::V_SWEEP_FLOOR],
+                    cert,
+                    |c| {
+                        if let Payload::Sweep(p) = &mut c.payload {
+                            let i = p.feasible.iter().position(|&f| f).unwrap();
+                            p.stores[i] = 0;
+                        }
+                    },
+                ));
+            }
+            if p.feasible.iter().any(|&f| !f) {
+                out.push(mutant(
+                    "sweep-feasibility-lie",
+                    &[codes::V_SWEEP_FLOOR],
+                    cert,
+                    |c| {
+                        if let Payload::Sweep(p) = &mut c.payload {
+                            let i = p.feasible.iter().position(|&f| !f).unwrap();
+                            p.feasible[i] = true;
+                        }
+                    },
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::verify::verify;
+
+    #[test]
+    fn fixtures_have_zero_false_rejects() {
+        for cert in fixtures::all() {
+            let v = verify(&cert);
+            assert!(
+                v.accepted,
+                "{} fixture rejected: {:?}",
+                cert.payload.kind(),
+                v.rejections
+            );
+        }
+    }
+
+    #[test]
+    fn all_mutants_killed_with_expected_codes() {
+        for cert in fixtures::all() {
+            let mutants = mutants_for(&cert);
+            assert!(
+                mutants.len() >= 4,
+                "{} fixture yields too few mutants",
+                cert.payload.kind()
+            );
+            for m in mutants {
+                // Kill both in-memory and through the serialized form.
+                let v = verify(&m.cert);
+                assert!(
+                    m.is_killed_by(&v),
+                    "mutant {} survived in-memory: {:?}",
+                    m.name,
+                    v.rejections
+                );
+                let v = crate::verify::verify_json(&m.cert.to_json());
+                assert!(
+                    m.is_killed_by(&v),
+                    "mutant {} survived round-trip: {:?}",
+                    m.name,
+                    v.rejections
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,931 @@
+//! The standalone certificate verifier.
+//!
+//! Everything a certificate claims is re-derived here from the embedded
+//! coefficients and the closed-form [`IndexView`]: the tensor identity,
+//! every edge every path traverses, the copy grouping and hit counts, the
+//! Fact-1 transport images, schedule legality by full replay, and sweep
+//! I/O floors. Nothing is taken from the routing or scheduling engines.
+//!
+//! The verifier **never panics on untrusted input**: malformed JSON, stale
+//! versions, inconsistent shapes, out-of-range ids, and oversized claims
+//! all surface as structured `MMIO-V0xx` rejections in a [`Verdict`].
+//! Rejections accumulate — one corrupt certificate reports every defect the
+//! verifier can still reach — but per-code detail is capped so adversarial
+//! input cannot balloon the verdict itself.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codes;
+use crate::format::{
+    self, Certificate, Payload, RoutingPayload, SchedulePayload, SweepPayload, FORMAT_VERSION,
+};
+use crate::view::{checked_pow, IndexView, ViewError};
+use mmio_cdag::hits::HitCounter;
+
+/// Hard ceiling on the vertex count of any graph the verifier will walk
+/// per-vertex (copy grouping, schedule replay). Registry certificates are
+/// orders of magnitude below; anything above is rejected as out of range
+/// rather than allowed to allocate gigabytes.
+const MAX_WALK_VERTICES: u64 = 1 << 26;
+/// Hard ceiling on `paths × transport copies` re-walk work.
+const MAX_TRANSPORT_WORK: u64 = 1 << 26;
+/// Hard ceiling on the expected path count of a routing certificate.
+const MAX_PATHS: u64 = 1 << 24;
+/// Detailed rejections kept per code before summarizing.
+const MAX_DETAILS_PER_CODE: u64 = 8;
+
+/// One structured rejection.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rejection {
+    /// Stable `MMIO-V0xx` code (see [`crate::codes`]).
+    pub code: String,
+    /// Human-readable specifics for this instance.
+    pub detail: String,
+}
+
+/// The machine-readable verdict of one verification run.
+#[derive(Clone, Debug, Serialize)]
+pub struct Verdict {
+    /// The certificate's declared format version (0 if unreadable).
+    pub format_version: u64,
+    /// Payload kind (`"routing"`, `"schedule"`, `"sweep"`, or `""`).
+    pub kind: String,
+    /// The embedded algorithm name (informational).
+    pub algo: String,
+    /// Whether the certificate verified with zero rejections.
+    pub accepted: bool,
+    /// Every rejection found, in check order.
+    pub rejections: Vec<Rejection>,
+}
+
+impl Verdict {
+    /// Serializes the verdict to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("verdicts always serialize")
+    }
+
+    /// Whether `code` appears among the rejections.
+    pub fn has_code(&self, code: &str) -> bool {
+        self.rejections.iter().any(|r| r.code == code)
+    }
+}
+
+/// Rejection accumulator with per-code detail capping.
+struct Ctx {
+    rejections: Vec<Rejection>,
+    counts: BTreeMap<String, u64>,
+}
+
+impl Ctx {
+    fn new() -> Ctx {
+        Ctx {
+            rejections: Vec::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    fn reject(&mut self, code: &str, detail: impl Into<String>) {
+        let n = self.counts.entry(code.to_string()).or_insert(0);
+        *n += 1;
+        if *n <= MAX_DETAILS_PER_CODE {
+            self.rejections.push(Rejection {
+                code: code.to_string(),
+                detail: detail.into(),
+            });
+        }
+    }
+
+    fn finish(mut self, format_version: u64, kind: &str, algo: &str) -> Verdict {
+        for (code, n) in &self.counts {
+            if *n > MAX_DETAILS_PER_CODE {
+                self.rejections.push(Rejection {
+                    code: code.clone(),
+                    detail: format!("… and {} more", n - MAX_DETAILS_PER_CODE),
+                });
+            }
+        }
+        Verdict {
+            format_version,
+            kind: kind.to_string(),
+            algo: algo.to_string(),
+            accepted: self.rejections.is_empty(),
+            rejections: self.rejections,
+        }
+    }
+}
+
+/// Verifies a serialized certificate. Parse failures and stale versions are
+/// rejected without attempting a full decode.
+pub fn verify_json(s: &str) -> Verdict {
+    let value: serde::Value = match serde_json::from_str(s) {
+        Ok(v) => v,
+        Err(e) => {
+            let mut ctx = Ctx::new();
+            ctx.reject(codes::V_MALFORMED, format!("JSON parse failure: {e}"));
+            return ctx.finish(0, "", "");
+        }
+    };
+    let Some(version) = format::peek_version(&value) else {
+        let mut ctx = Ctx::new();
+        ctx.reject(codes::V_MALFORMED, "missing or non-integer `version` field");
+        return ctx.finish(0, "", "");
+    };
+    if version != FORMAT_VERSION as u64 {
+        let mut ctx = Ctx::new();
+        ctx.reject(
+            codes::V_VERSION,
+            format!("certificate has format version {version}, verifier supports {FORMAT_VERSION}"),
+        );
+        return ctx.finish(version, "", "");
+    }
+    match Certificate::from_value(&value) {
+        Ok(cert) => verify(&cert),
+        Err(e) => {
+            let mut ctx = Ctx::new();
+            ctx.reject(codes::V_MALFORMED, format!("decode failure: {e}"));
+            ctx.finish(version, "", "")
+        }
+    }
+}
+
+/// Verifies an in-memory certificate.
+pub fn verify(cert: &Certificate) -> Verdict {
+    let kind = cert.payload.kind();
+    let algo = cert.base.name.as_str();
+    let version = cert.version as u64;
+    let mut ctx = Ctx::new();
+
+    if cert.version != FORMAT_VERSION {
+        ctx.reject(
+            codes::V_VERSION,
+            format!(
+                "certificate has format version {}, verifier supports {FORMAT_VERSION}",
+                cert.version
+            ),
+        );
+        return ctx.finish(version, kind, algo);
+    }
+
+    match &cert.payload {
+        Payload::Routing(p) => verify_routing(cert, p, &mut ctx),
+        Payload::Schedule(p) => verify_schedule(cert, p, &mut ctx),
+        Payload::Sweep(p) => verify_sweep(cert, p, &mut ctx),
+    }
+    ctx.finish(version, kind, algo)
+}
+
+/// Builds the view, mapping construction failures to reject codes. Also
+/// enforces the per-vertex walk ceiling when `walk` is set.
+fn build_view(cert: &Certificate, r: u32, walk: bool, ctx: &mut Ctx) -> Option<IndexView> {
+    let view = match IndexView::new(&cert.base, r) {
+        Ok(v) => v,
+        Err(ViewError::Shape(e)) => {
+            ctx.reject(codes::V_BASE_INVALID, e);
+            return None;
+        }
+        Err(ViewError::Params(e)) => {
+            ctx.reject(codes::V_PARAMS, e);
+            return None;
+        }
+    };
+    if walk && view.n_vertices() as u64 > MAX_WALK_VERTICES {
+        ctx.reject(
+            codes::V_PARAMS,
+            format!(
+                "G_{r} has {} vertices, above the verifier's walk ceiling",
+                view.n_vertices()
+            ),
+        );
+        return None;
+    }
+    if let Err(e) = crate::view::check_tensor(&cert.base) {
+        ctx.reject(codes::V_BASE_INVALID, e);
+        return None;
+    }
+    Some(view)
+}
+
+fn verify_routing(cert: &Certificate, p: &RoutingPayload, ctx: &mut Ctx) {
+    if p.k < 1 || p.k > p.r {
+        ctx.reject(
+            codes::V_PARAMS,
+            format!("routing requires 1 ≤ k ≤ r, got k = {}, r = {}", p.k, p.r),
+        );
+        return;
+    }
+    // The k-view is walked per-vertex (copy grouping); the r-view is only
+    // probed through lift/preds, so it needs no walk ceiling.
+    let Some(kview) = build_view(cert, p.k, true, ctx) else {
+        return;
+    };
+    let Some(rview) = build_view(cert, p.r, false, ctx) else {
+        return;
+    };
+
+    let ak = checked_pow(kview.a() as u64, p.k).expect("a^k bounded by the id space");
+    let Some(expected_paths) = ak.checked_mul(ak).and_then(|x| x.checked_mul(2)) else {
+        ctx.reject(codes::V_PARAMS, "expected path count 2a^{2k} overflows");
+        return;
+    };
+    if expected_paths > MAX_PATHS {
+        ctx.reject(
+            codes::V_PARAMS,
+            format!("{expected_paths} paths exceed the verifier's ceiling"),
+        );
+        return;
+    }
+
+    let true_bound = 6 * ak; // cannot overflow: ak ≤ MAX_PATHS
+    if p.bound != true_bound {
+        ctx.reject(
+            codes::V_ROUTE_BOUND,
+            format!(
+                "claimed bound {} but the Routing Theorem gives 6a^k = {true_bound}",
+                p.bound
+            ),
+        );
+    }
+    if p.paths.len() as u64 != expected_paths {
+        ctx.reject(
+            codes::V_ROUTE_PATH_COUNT,
+            format!(
+                "{} paths, an in-out routing of G_{} has {expected_paths}",
+                p.paths.len(),
+                p.k
+            ),
+        );
+    }
+
+    // Per-path structural validation on the standalone G_k, plus pair
+    // coverage and the hit recount over structurally valid paths.
+    let n_local = kview.n_vertices();
+    let mut counter = HitCounter::with_groups(kview.copy_roots());
+    let outputs = kview.outputs_count();
+    let mut pair_seen = vec![false; expected_paths as usize];
+    let mut preds = Vec::new();
+    for (i, path) in p.paths.iter().enumerate() {
+        if path.is_empty() {
+            ctx.reject(codes::V_ROUTE_NON_EDGE, format!("path {i} is empty"));
+            continue;
+        }
+        if let Some(&bad) = path.iter().find(|&&v| v >= n_local) {
+            ctx.reject(
+                codes::V_MALFORMED,
+                format!("path {i} references vertex {bad}, G_{} has {n_local}", p.k),
+            );
+            continue;
+        }
+        let mut ok = true;
+        for (j, w) in path.windows(2).enumerate() {
+            // Forward orientation: each hop's later vertex lists the earlier
+            // one among its predecessors; accept either direction so path
+            // storage order is not part of the format contract.
+            preds.clear();
+            kview.preds_into(w[1], &mut preds);
+            let mut edge = preds.contains(&w[0]);
+            if !edge {
+                preds.clear();
+                kview.preds_into(w[0], &mut preds);
+                edge = preds.contains(&w[1]);
+            }
+            if !edge {
+                ctx.reject(
+                    codes::V_ROUTE_NON_EDGE,
+                    format!(
+                        "path {i} hop {j}: ({}, {}) is not an edge of G_{}",
+                        w[0], w[1], p.k
+                    ),
+                );
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let (s, t) = (path[0], *path.last().unwrap());
+        let pair = match (kview.input_ord(s), kview.output_ord(t)) {
+            (Some(iord), Some(oord)) => Some((iord, oord)),
+            _ => match (kview.input_ord(t), kview.output_ord(s)) {
+                (Some(iord), Some(oord)) => Some((iord, oord)),
+                _ => {
+                    ctx.reject(
+                        codes::V_ROUTE_PAIRS,
+                        format!("path {i} endpoints ({s}, {t}) are not an input-output pair"),
+                    );
+                    None
+                }
+            },
+        };
+        if let Some((iord, oord)) = pair {
+            let slot = (iord * outputs + oord) as usize;
+            if pair_seen[slot] {
+                ctx.reject(
+                    codes::V_ROUTE_PAIRS,
+                    format!("pair (input {iord}, output {oord}) routed twice"),
+                );
+            }
+            pair_seen[slot] = true;
+        }
+        counter.add_path(path.iter().copied());
+    }
+    let missing = pair_seen.iter().filter(|&&seen| !seen).count();
+    if missing > 0 {
+        ctx.reject(
+            codes::V_ROUTE_PAIRS,
+            format!("{missing} of {expected_paths} (input, output) pairs have no path"),
+        );
+    }
+
+    let s = counter.summary();
+    if s.max_vertex_hits > true_bound {
+        let worst = counter.argmax_vertex().unwrap_or(0);
+        ctx.reject(
+            codes::V_ROUTE_VERTEX_OVERLOAD,
+            format!(
+                "vertex {worst} lies on {} paths, above the 6a^k = {true_bound} bound",
+                s.max_vertex_hits
+            ),
+        );
+    }
+    if s.max_group_hits > true_bound {
+        let worst = counter.argmax_group().unwrap_or(0);
+        ctx.reject(
+            codes::V_ROUTE_META_OVERLOAD,
+            format!(
+                "copy-group of vertex {worst} is hit by {} paths, above 6a^k = {true_bound}",
+                s.max_group_hits
+            ),
+        );
+    }
+    if s.max_vertex_hits != p.max_vertex_hits || s.max_group_hits != p.max_meta_hits {
+        ctx.reject(
+            codes::V_ROUTE_CLAIM_MISMATCH,
+            format!(
+                "claimed hits (vertex {}, meta {}) but recount gives (vertex {}, meta {})",
+                p.max_vertex_hits, p.max_meta_hits, s.max_vertex_hits, s.max_group_hits
+            ),
+        );
+    }
+
+    verify_transport(p, &kview, &rview, ctx);
+}
+
+/// Re-checks the Fact-1 transport: the prefix set must be exactly
+/// `[b^{r-k}]`, and every lifted hop of every path must be an edge of `G_r`.
+fn verify_transport(p: &RoutingPayload, kview: &IndexView, rview: &IndexView, ctx: &mut Ctx) {
+    let copies =
+        checked_pow(kview.b() as u64, p.r - p.k).expect("b^{r-k} bounded by the r-view id space");
+    if p.copy_prefixes.len() as u64 != copies {
+        ctx.reject(
+            codes::V_ROUTE_TRANSPORT,
+            format!(
+                "{} transport prefixes, Fact 1 gives b^{{r-k}} = {copies} copies",
+                p.copy_prefixes.len()
+            ),
+        );
+    }
+    let mut seen = vec![false; copies as usize];
+    let mut prefixes_ok = Vec::new();
+    for &prefix in &p.copy_prefixes {
+        if prefix >= copies {
+            ctx.reject(
+                codes::V_ROUTE_TRANSPORT,
+                format!("prefix {prefix} out of range [0, {copies})"),
+            );
+            continue;
+        }
+        if seen[prefix as usize] {
+            ctx.reject(
+                codes::V_ROUTE_TRANSPORT,
+                format!("prefix {prefix} duplicated"),
+            );
+            continue;
+        }
+        seen[prefix as usize] = true;
+        prefixes_ok.push(prefix);
+    }
+
+    let work = (prefixes_ok.len() as u64).saturating_mul(p.paths.len() as u64);
+    if work > MAX_TRANSPORT_WORK {
+        ctx.reject(
+            codes::V_PARAMS,
+            format!("transport re-walk of {work} path-copies exceeds the verifier's ceiling"),
+        );
+        return;
+    }
+    let n_local = kview.n_vertices();
+    let mut preds = Vec::new();
+    for &prefix in &prefixes_ok {
+        let mut bad = false;
+        for path in &p.paths {
+            if path.is_empty() || path.iter().any(|&v| v >= n_local) {
+                continue; // already rejected structurally
+            }
+            for w in path.windows(2) {
+                let (Some(lu), Some(lv)) = (
+                    rview.lift(kview, prefix, w[0]),
+                    rview.lift(kview, prefix, w[1]),
+                ) else {
+                    ctx.reject(
+                        codes::V_ROUTE_TRANSPORT,
+                        format!(
+                            "prefix {prefix}: hop ({}, {}) does not lift into G_r",
+                            w[0], w[1]
+                        ),
+                    );
+                    bad = true;
+                    break;
+                };
+                preds.clear();
+                rview.preds_into(lv, &mut preds);
+                let mut edge = preds.contains(&lu);
+                if !edge {
+                    preds.clear();
+                    rview.preds_into(lu, &mut preds);
+                    edge = preds.contains(&lv);
+                }
+                if !edge {
+                    ctx.reject(
+                        codes::V_ROUTE_TRANSPORT,
+                        format!(
+                            "prefix {prefix}: lifted hop ({lu}, {lv}) is not an edge of G_{}",
+                            p.r
+                        ),
+                    );
+                    bad = true;
+                    break;
+                }
+            }
+            if bad {
+                break; // one broken copy is enough evidence for this prefix
+            }
+        }
+    }
+}
+
+fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
+    if p.ops.len() != p.vertices.len() {
+        ctx.reject(
+            codes::V_MALFORMED,
+            format!("{} ops but {} vertices", p.ops.len(), p.vertices.len()),
+        );
+        return;
+    }
+    if p.res_vertex.len() != p.res_start.len() || p.res_vertex.len() != p.res_end.len() {
+        ctx.reject(codes::V_MALFORMED, "residency columns have unequal lengths");
+        return;
+    }
+    let Some(view) = build_view(cert, p.r, true, ctx) else {
+        return;
+    };
+    let n = view.n_vertices();
+    if let Some(&bad) = p.vertices.iter().find(|&&v| v >= n) {
+        ctx.reject(
+            codes::V_MALFORMED,
+            format!("schedule references vertex {bad}, G_{} has {n}", p.r),
+        );
+        return;
+    }
+
+    // Full replay under the machine-model rules of the pebble simulator,
+    // with its exact error precedence. The replay stops at the first
+    // illegality — later state would be fiction.
+    let mut in_cache = vec![false; n as usize];
+    let mut computed = vec![false; n as usize];
+    let mut stored = vec![false; n as usize];
+    let mut open = vec![0u64; n as usize];
+    let mut intervals: Vec<(u32, u64, u64)> = Vec::new();
+    let mut occupancy: u64 = 0;
+    let mut peak: u64 = 0;
+    let (mut loads, mut stores, mut computes) = (0u64, 0u64, 0u64);
+    let mut preds = Vec::new();
+    let mut legal = true;
+
+    for (i, (op, &v)) in p.ops.chars().zip(&p.vertices).enumerate() {
+        let vi = v as usize;
+        match op {
+            'L' => {
+                if !view.is_input(v) && !stored[vi] {
+                    ctx.reject(
+                        codes::V_SCHED_BAD_LOAD,
+                        format!("action {i}: load of {v}, which is not in slow memory"),
+                    );
+                    legal = false;
+                } else if in_cache[vi] {
+                    ctx.reject(
+                        codes::V_SCHED_BAD_LOAD,
+                        format!("action {i}: load of {v}, which is already cached"),
+                    );
+                    legal = false;
+                } else if occupancy >= p.m {
+                    ctx.reject(
+                        codes::V_SCHED_CAPACITY,
+                        format!("action {i}: load of {v} into a full cache (M = {})", p.m),
+                    );
+                    legal = false;
+                } else {
+                    in_cache[vi] = true;
+                    open[vi] = i as u64;
+                    occupancy += 1;
+                    loads += 1;
+                }
+            }
+            'S' => {
+                if !in_cache[vi] {
+                    ctx.reject(
+                        codes::V_SCHED_NOT_RESIDENT,
+                        format!("action {i}: store of non-resident {v}"),
+                    );
+                    legal = false;
+                } else {
+                    stored[vi] = true;
+                    stores += 1;
+                }
+            }
+            'D' => {
+                if !in_cache[vi] {
+                    ctx.reject(
+                        codes::V_SCHED_NOT_RESIDENT,
+                        format!("action {i}: drop of non-resident {v}"),
+                    );
+                    legal = false;
+                } else {
+                    in_cache[vi] = false;
+                    intervals.push((v, open[vi], i as u64));
+                    occupancy -= 1;
+                }
+            }
+            'C' => {
+                preds.clear();
+                view.preds_into(v, &mut preds);
+                if view.is_input(v) {
+                    ctx.reject(
+                        codes::V_SCHED_BAD_COMPUTE,
+                        format!("action {i}: compute of input {v}"),
+                    );
+                    legal = false;
+                } else if computed[vi] {
+                    ctx.reject(
+                        codes::V_SCHED_BAD_COMPUTE,
+                        format!("action {i}: recomputation of {v}"),
+                    );
+                    legal = false;
+                } else if let Some(&missing) = preds.iter().find(|&&q| !in_cache[q as usize]) {
+                    ctx.reject(
+                        codes::V_SCHED_MISSING_OPERAND,
+                        format!("action {i}: compute of {v} with operand {missing} not cached"),
+                    );
+                    legal = false;
+                } else if occupancy >= p.m {
+                    ctx.reject(
+                        codes::V_SCHED_CAPACITY,
+                        format!("action {i}: compute of {v} into a full cache (M = {})", p.m),
+                    );
+                    legal = false;
+                } else {
+                    in_cache[vi] = true;
+                    open[vi] = i as u64;
+                    occupancy += 1;
+                    computed[vi] = true;
+                    computes += 1;
+                }
+            }
+            other => {
+                ctx.reject(
+                    codes::V_MALFORMED,
+                    format!("action {i}: unknown op character {other:?}"),
+                );
+                legal = false;
+            }
+        }
+        if !legal {
+            return;
+        }
+        peak = peak.max(occupancy);
+    }
+
+    // Terminal conditions: every non-input computed, every output stored.
+    for v in 0..n {
+        if !view.is_input(v) && !computed[v as usize] {
+            ctx.reject(
+                codes::V_SCHED_INCOMPLETE,
+                format!("vertex {v} never computed"),
+            );
+        }
+        if view.is_output(v) && !stored[v as usize] {
+            ctx.reject(
+                codes::V_SCHED_INCOMPLETE,
+                format!("output {v} never stored"),
+            );
+        }
+    }
+
+    if (loads, stores, computes) != (p.loads, p.stores, p.computes) {
+        ctx.reject(
+            codes::V_SCHED_COUNTER_MISMATCH,
+            format!(
+                "claimed (loads {}, stores {}, computes {}) but replay gives ({loads}, {stores}, {computes})",
+                p.loads, p.stores, p.computes
+            ),
+        );
+    }
+    if peak != p.peak_occupancy {
+        ctx.reject(
+            codes::V_SCHED_WITNESS_MISMATCH,
+            format!(
+                "claimed peak occupancy {} but replay gives {peak}",
+                p.peak_occupancy
+            ),
+        );
+    }
+    // Residency intervals: values still resident at termination close at
+    // the trace length. Compare as sorted multisets.
+    let len = p.ops.len() as u64;
+    for v in 0..n as usize {
+        if in_cache[v] {
+            intervals.push((v as u32, open[v], len));
+        }
+    }
+    let mut claimed: Vec<(u32, u64, u64)> = p
+        .res_vertex
+        .iter()
+        .zip(&p.res_start)
+        .zip(&p.res_end)
+        .map(|((&v, &s), &e)| (v, s, e))
+        .collect();
+    intervals.sort_unstable();
+    claimed.sort_unstable();
+    if intervals != claimed {
+        ctx.reject(
+            codes::V_SCHED_WITNESS_MISMATCH,
+            format!(
+                "claimed {} residency intervals disagree with the replay's {}",
+                claimed.len(),
+                intervals.len()
+            ),
+        );
+    }
+}
+
+fn verify_sweep(cert: &Certificate, p: &SweepPayload, ctx: &mut Ctx) {
+    let cols = [
+        p.feasible.len(),
+        p.loads.len(),
+        p.stores.len(),
+        p.computes.len(),
+    ];
+    if cols.iter().any(|&l| l != p.ms.len()) {
+        ctx.reject(
+            codes::V_SWEEP_MALFORMED,
+            format!(
+                "grid has {} cache sizes but columns of lengths {cols:?}",
+                p.ms.len()
+            ),
+        );
+        return;
+    }
+    for (i, &m) in p.ms.iter().enumerate() {
+        if p.ms[..i].contains(&m) {
+            ctx.reject(codes::V_SWEEP_MALFORMED, format!("cache size {m} repeats"));
+        }
+    }
+    // Floors come from closed forms only — no per-vertex walk, so no size
+    // ceiling is needed here.
+    let Some(view) = build_view(cert, p.r, false, ctx) else {
+        return;
+    };
+    let need = view.max_indegree() as u64 + 1;
+    let used_inputs = view.used_inputs();
+    let outputs = view.outputs_count();
+    let work = view.n_vertices() as u64 - view.inputs_count();
+    for i in 0..p.ms.len() {
+        let m = p.ms[i];
+        if p.feasible[i] != (m >= need) {
+            ctx.reject(
+                codes::V_SWEEP_FLOOR,
+                format!(
+                    "M = {m}: declared {}feasible but the minimum cache is {need}",
+                    if p.feasible[i] { "" } else { "in" }
+                ),
+            );
+            continue;
+        }
+        if !p.feasible[i] {
+            if p.loads[i] != 0 || p.stores[i] != 0 || p.computes[i] != 0 {
+                ctx.reject(
+                    codes::V_SWEEP_FLOOR,
+                    format!("M = {m}: infeasible point carries nonzero I/O claims"),
+                );
+            }
+            continue;
+        }
+        if p.loads[i] < used_inputs {
+            ctx.reject(
+                codes::V_SWEEP_FLOOR,
+                format!(
+                    "M = {m}: {} loads, below the {used_inputs} used inputs",
+                    p.loads[i]
+                ),
+            );
+        }
+        if p.stores[i] < outputs {
+            ctx.reject(
+                codes::V_SWEEP_FLOOR,
+                format!(
+                    "M = {m}: {} stores, below the {outputs} outputs",
+                    p.stores[i]
+                ),
+            );
+        }
+        if p.computes[i] != work {
+            ctx.reject(
+                codes::V_SWEEP_WORK,
+                format!(
+                    "M = {m}: {} computes, the non-input vertex count is {work}",
+                    p.computes[i]
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{unit_base, unit_routing, unit_schedule};
+
+    #[test]
+    fn unit_routing_accepted() {
+        let v = verify(&unit_routing());
+        assert!(v.accepted, "rejections: {:?}", v.rejections);
+        // And survives a JSON round trip.
+        let v = verify_json(&unit_routing().to_json());
+        assert!(v.accepted, "rejections: {:?}", v.rejections);
+    }
+
+    #[test]
+    fn unit_schedule_replay() {
+        // The schedule above is illegal: peak occupancy 5 exceeds M = 4.
+        let mut cert = unit_schedule();
+        if let Payload::Schedule(p) = &mut cert.payload {
+            p.m = 4;
+        }
+        let v = verify(&cert);
+        assert!(!v.accepted);
+        assert!(v.has_code(codes::V_SCHED_CAPACITY), "{:?}", v.rejections);
+
+        // With M = 5 it is legal and all claims match.
+        let mut cert = unit_schedule();
+        if let Payload::Schedule(p) = &mut cert.payload {
+            p.m = 5;
+        }
+        let v = verify(&cert);
+        assert!(v.accepted, "rejections: {:?}", v.rejections);
+    }
+
+    #[test]
+    fn stale_version_rejected_before_decode() {
+        let mut cert = unit_routing();
+        cert.version = 99;
+        let v = verify_json(&cert.to_json());
+        assert!(!v.accepted);
+        assert!(v.has_code(codes::V_VERSION));
+        assert_eq!(v.format_version, 99);
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for s in [
+            "",
+            "{",
+            "[1,2,3]",
+            "{\"version\":true}",
+            "{\"a\":1}",
+            "null",
+        ] {
+            let v = verify_json(s);
+            assert!(!v.accepted);
+            assert!(
+                v.has_code(codes::V_MALFORMED) || v.has_code(codes::V_VERSION),
+                "input {s:?} gave {:?}",
+                v.rejections
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_routing_rejections() {
+        // Non-edge hop.
+        let mut cert = unit_routing();
+        if let Payload::Routing(p) = &mut cert.payload {
+            p.paths[0][1] = p.paths[0][0];
+        }
+        let v = verify(&cert);
+        assert!(!v.accepted);
+        assert!(v.has_code(codes::V_ROUTE_NON_EDGE), "{:?}", v.rejections);
+
+        // Wrong bound.
+        let mut cert = unit_routing();
+        if let Payload::Routing(p) = &mut cert.payload {
+            p.bound += 1;
+        }
+        assert!(verify(&cert).has_code(codes::V_ROUTE_BOUND));
+
+        // Dropped path: count and pair coverage both fire.
+        let mut cert = unit_routing();
+        if let Payload::Routing(p) = &mut cert.payload {
+            p.paths.pop();
+            p.max_meta_hits = 1;
+        }
+        let v = verify(&cert);
+        assert!(v.has_code(codes::V_ROUTE_PATH_COUNT));
+        assert!(v.has_code(codes::V_ROUTE_PAIRS));
+
+        // Claim mismatch.
+        let mut cert = unit_routing();
+        if let Payload::Routing(p) = &mut cert.payload {
+            p.max_vertex_hits += 1;
+        }
+        assert!(verify(&cert).has_code(codes::V_ROUTE_CLAIM_MISMATCH));
+
+        // Transport prefix out of range.
+        let mut cert = unit_routing();
+        if let Payload::Routing(p) = &mut cert.payload {
+            p.copy_prefixes = vec![1];
+        }
+        let v = verify(&cert);
+        assert!(v.has_code(codes::V_ROUTE_TRANSPORT), "{:?}", v.rejections);
+    }
+
+    #[test]
+    fn corrupt_base_rejected() {
+        use mmio_matrix::Rational;
+        let mut cert = unit_routing();
+        cert.base.dec[(0, 0)] = Rational::ZERO;
+        let v = verify(&cert);
+        assert!(!v.accepted);
+        assert!(v.has_code(codes::V_BASE_INVALID));
+    }
+
+    #[test]
+    fn sweep_floors_enforced() {
+        // unit at r=1: need = 3, used inputs = 2, outputs = 1, work = 4.
+        let sweep = |ms: Vec<u64>,
+                     feasible: Vec<bool>,
+                     loads: Vec<u64>,
+                     stores: Vec<u64>,
+                     computes: Vec<u64>| {
+            Certificate::new(
+                unit_base(),
+                Payload::Sweep(crate::format::SweepPayload {
+                    r: 1,
+                    policy: "lru".into(),
+                    ms,
+                    feasible,
+                    loads,
+                    stores,
+                    computes,
+                }),
+            )
+        };
+        let ok = sweep(
+            vec![2, 5],
+            vec![false, true],
+            vec![0, 2],
+            vec![0, 1],
+            vec![0, 4],
+        );
+        let v = verify(&ok);
+        assert!(v.accepted, "rejections: {:?}", v.rejections);
+
+        let bad = sweep(
+            vec![2, 5],
+            vec![false, true],
+            vec![0, 1],
+            vec![0, 1],
+            vec![0, 4],
+        );
+        assert!(verify(&bad).has_code(codes::V_SWEEP_FLOOR));
+
+        let bad = sweep(
+            vec![2, 5],
+            vec![false, true],
+            vec![0, 2],
+            vec![0, 1],
+            vec![0, 5],
+        );
+        assert!(verify(&bad).has_code(codes::V_SWEEP_WORK));
+
+        let bad = sweep(
+            vec![5, 5],
+            vec![true, true],
+            vec![2, 2],
+            vec![1, 1],
+            vec![4, 4],
+        );
+        assert!(verify(&bad).has_code(codes::V_SWEEP_MALFORMED));
+    }
+}

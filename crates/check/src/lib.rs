@@ -28,6 +28,8 @@
 //! suite self-tests its detectors against planted defects ([`fixtures`])
 //! on every run. Front door: [`suite::run_suite`], wired to `mmio check`.
 
+#![forbid(unsafe_code)]
+
 pub mod explore;
 pub mod fixtures;
 pub mod hb;

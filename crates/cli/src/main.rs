@@ -12,6 +12,10 @@
 //! mmio report <algo> <r> <M>        full JSON analysis report
 //! mmio analyze <algo|all> [r] [--json]   static analysis & certification
 //! mmio check [--json]               concurrency soundness suite
+//! mmio cert emit <algo|all> [r] [--out DIR] [--json]
+//!                                   emit proof-carrying certificates
+//! mmio cert verify <files|DIR...> [--json]
+//!                                   verify certificates (standalone verifier)
 //! ```
 //!
 //! `<algo>` is a built-in name (`mmio list`) or a path to a JSON base-graph
@@ -21,6 +25,8 @@
 //! variable; default: all available cores) sets the worker count for the
 //! parallel verification paths. Output is byte-identical at any thread
 //! count.
+
+#![forbid(unsafe_code)]
 
 use mmio_algos::registry::all_base_graphs;
 use mmio_cdag::build::build_cdag;
@@ -49,7 +55,9 @@ fn usage() -> ExitCode {
          routing  <algo> <k> [r]\n  \
          report   <algo> <r> <M>\n  \
          analyze  <algo|all> [r] [--json]\n  \
-         check    [--json]"
+         check    [--json]\n  \
+         cert     emit <algo|all> [r] [--out DIR] [--json]\n  \
+         cert     verify <files|DIR...> [--json]"
     );
     ExitCode::FAILURE
 }
@@ -163,6 +171,67 @@ fn analyze_target(base: &BaseGraph, r: u32) -> (mmio_analyze::Report, serde_json
     }
     summary.push(("report".to_string(), serde::Serialize::to_value(&report)));
     (report, serde::Value::Object(summary))
+}
+
+/// Emits the certificate suite for one algorithm at depth `r`: a routing
+/// certificate (Theorem 2 paths + Fact-1 transport), a schedule-legality
+/// witness, and an LRU sweep witness. Depths are capped exactly like
+/// `mmio analyze` so path enumeration and graph size stay tractable.
+/// Bases without a Hall matching simply skip the routing certificate.
+fn emit_certs_for(base: &BaseGraph, r: u32, pool: &Pool) -> Vec<(String, mmio_cert::Certificate)> {
+    use mmio_pebble::cert::{emit_schedule_certificate, emit_sweep_certificate};
+    use mmio_pebble::sweep::{sweep, PolicySpec};
+
+    let name = base.name();
+    let mut out = Vec::new();
+
+    let routing_k = r.min(if base.a() >= 16 { 1 } else { 2 }).max(1);
+    if let Some(class) = RoutingClass::build(base, routing_k, pool) {
+        out.push((
+            format!("{name}__routing_k{routing_k}_r{r}.json"),
+            mmio_core::transport::emit_certificate(&class, r),
+        ));
+    }
+
+    let sched_r = if base.b() > 30 { r.min(2) } else { r };
+    let g = build_cdag(base, sched_r);
+    let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(1) + 1;
+    let m = need + 4;
+    let order = recursive_order(&g);
+    let (_, sched) = AutoScheduler::new(&g, m).run_recorded(&order, &mut Belady);
+    out.push((
+        format!("{name}__schedule_r{sched_r}_m{m}.json"),
+        emit_schedule_certificate(&g, m, &sched),
+    ));
+
+    let ms = [2, need, 4 * need];
+    let points = sweep(&g, &[&order], &[PolicySpec::Lru], &ms, pool);
+    out.push((
+        format!("{name}__sweep_r{sched_r}.json"),
+        emit_sweep_certificate(&g, &PolicySpec::Lru, &points),
+    ));
+    out
+}
+
+/// Expands `mmio cert verify` operands: directories become their sorted
+/// `*.json` entries, files pass through.
+fn expand_cert_paths(operands: &[&String]) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut files = Vec::new();
+    for op in operands {
+        let path = std::path::Path::new(op.as_str());
+        if path.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(path)
+                .map_err(|e| format!("{op}: {e}"))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    Ok(files)
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -435,6 +504,117 @@ fn run() -> Result<ExitCode, String> {
             }
             if !outcome.ok() {
                 return Ok(ExitCode::FAILURE);
+            }
+        }
+        "cert" => {
+            let json = args.iter().any(|a| a == "--json");
+            let sub = args
+                .get(1)
+                .map(String::as_str)
+                .ok_or("missing cert subcommand (emit|verify)")?;
+            match sub {
+                "emit" => {
+                    let target = args.get(2).ok_or("missing algorithm (or 'all')")?;
+                    let r: u32 = match args.get(3).filter(|a| !a.starts_with("--")) {
+                        Some(a) => a.parse().map_err(|_| "invalid r")?,
+                        None => 2,
+                    };
+                    let out_dir = match args.iter().position(|a| a == "--out") {
+                        Some(i) => std::path::PathBuf::from(
+                            args.get(i + 1).ok_or("missing value for --out")?,
+                        ),
+                        None => std::path::PathBuf::from("certs"),
+                    };
+                    let bases = if target == "all" {
+                        all_base_graphs()
+                    } else {
+                        vec![resolve(target)?]
+                    };
+                    std::fs::create_dir_all(&out_dir)
+                        .map_err(|e| format!("{}: {e}", out_dir.display()))?;
+                    let mut written = Vec::new();
+                    for base in &bases {
+                        for (file, cert) in emit_certs_for(base, r, &pool) {
+                            let path = out_dir.join(file);
+                            std::fs::write(&path, cert.to_json())
+                                .map_err(|e| format!("{}: {e}", path.display()))?;
+                            written.push(path);
+                        }
+                    }
+                    if json {
+                        let v = serde::Value::Array(
+                            written
+                                .iter()
+                                .map(|p| serde::Value::Str(p.display().to_string()))
+                                .collect(),
+                        );
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&v).expect("serializable")
+                        );
+                    } else {
+                        for p in &written {
+                            println!("wrote {}", p.display());
+                        }
+                        println!("{} certificate(s) → {}", written.len(), out_dir.display());
+                    }
+                }
+                "verify" => {
+                    let operands: Vec<&String> =
+                        args[2..].iter().filter(|a| *a != "--json").collect();
+                    let files = expand_cert_paths(&operands)?;
+                    if files.is_empty() {
+                        return Err("no certificate files to verify".into());
+                    }
+                    let mut rejected = 0usize;
+                    let mut entries = Vec::new();
+                    for path in &files {
+                        let text = std::fs::read_to_string(path)
+                            .map_err(|e| format!("{}: {e}", path.display()))?;
+                        let verdict = mmio_cert::verify_json(&text);
+                        if !verdict.accepted {
+                            rejected += 1;
+                        }
+                        if json {
+                            entries.push(serde::Value::Object(vec![
+                                (
+                                    "file".to_string(),
+                                    serde::Value::Str(path.display().to_string()),
+                                ),
+                                ("verdict".to_string(), serde::Serialize::to_value(&verdict)),
+                            ]));
+                        } else if verdict.accepted {
+                            println!(
+                                "{}: ACCEPTED ({} {})",
+                                path.display(),
+                                verdict.kind,
+                                verdict.algo
+                            );
+                        } else {
+                            println!("{}: REJECTED", path.display());
+                            for rej in &verdict.rejections {
+                                println!("  {}: {}", rej.code, rej.detail);
+                            }
+                        }
+                    }
+                    if json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&serde::Value::Array(entries))
+                                .expect("serializable")
+                        );
+                    } else {
+                        println!(
+                            "cert verify: {}/{} accepted",
+                            files.len() - rejected,
+                            files.len()
+                        );
+                    }
+                    if rejected > 0 {
+                        return Ok(ExitCode::FAILURE);
+                    }
+                }
+                other => return Err(format!("unknown cert subcommand '{other}'")),
             }
         }
         _ => return Err(format!("unknown command '{cmd}'")),

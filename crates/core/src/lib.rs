@@ -51,6 +51,7 @@
 // Chain construction, hit counting, and transport are the workspace's hot
 // paths; performance lints are errors here, not suggestions.
 #![deny(clippy::perf)]
+#![forbid(unsafe_code)]
 
 pub mod boundary;
 pub mod chains;
@@ -64,6 +65,8 @@ pub mod lemma1;
 pub mod lemma4;
 pub mod lemma56;
 pub mod loomis_whitney;
+#[cfg(feature = "mutate")]
+pub mod mutate;
 pub mod report;
 pub mod routing;
 pub mod segments;

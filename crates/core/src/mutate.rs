@@ -1,0 +1,32 @@
+//! Runtime-armed corruption switches for certificate emission — the
+//! *engine-side* half of the mutation-testing harness (the certificate-side
+//! half lives in `mmio-cert::mutate`).
+//!
+//! Compiled only under the `mutate` feature and dormant until a switch is
+//! armed, so enabling the feature through cargo's unification never changes
+//! behavior by itself. The `cert_mutate` harness arms one switch, emits,
+//! disarms, and asserts the standalone verifier rejects the result: a lie
+//! told at the *decision point inside the engine* must be caught from the
+//! serialized certificate alone.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Drop the last routed path from emitted routing certificates
+/// (expected kill: `MMIO-V015`/`MMIO-V011`).
+pub static DROP_LAST_PATH: AtomicBool = AtomicBool::new(false);
+
+/// Claim one fewer maximum vertex hit than the engine counted
+/// (expected kill: `MMIO-V014`).
+pub static UNDERCOUNT_VERTEX_HITS: AtomicBool = AtomicBool::new(false);
+
+/// Replace the last transport prefix with a duplicate of the first
+/// (expected kill: `MMIO-V016`; only observable when `r > k`, i.e. when
+/// there is more than one copy).
+pub static PREFIX_LIE: AtomicBool = AtomicBool::new(false);
+
+/// Disarms every switch (harness hygiene between mutants).
+pub fn disarm_all() {
+    for flag in [&DROP_LAST_PATH, &UNDERCOUNT_VERTEX_HITS, &PREFIX_LIE] {
+        flag.store(false, Ordering::SeqCst);
+    }
+}

@@ -7,20 +7,18 @@
 //! module provides the streaming hit-counting used to *verify* every
 //! constructed routing, both per vertex and per meta-vertex.
 
+use mmio_cdag::hits::HitCounter;
 use mmio_cdag::{Cdag, MetaVertices, VertexId};
 use serde::Serialize;
 
 /// Streaming hit counter over a CDAG's vertices (and optionally its
-/// meta-vertices).
+/// meta-vertices). The counting itself — per-occurrence vertex hits,
+/// once-per-path group hits, deterministic shard merging — is the shared
+/// [`mmio_cdag::hits::HitCounter`]; this wrapper binds it to a graph (for
+/// the debug edge assertion) and to [`MetaVertices`] as the group source.
 pub struct VertexHitCounter<'g> {
     g: &'g Cdag,
-    hits: Vec<u64>,
-    meta: Option<(&'g MetaVertices, Vec<u64>)>,
-    paths: u64,
-    length_sum: u64,
-    /// Reusable scratch for per-path meta-root deduplication, so
-    /// [`VertexHitCounter::add_path`] allocates nothing after warm-up.
-    touched: Vec<usize>,
+    counter: HitCounter,
 }
 
 /// Summary statistics of a verified routing.
@@ -41,14 +39,15 @@ impl<'g> VertexHitCounter<'g> {
     /// (a path hitting several vertices of one meta-vertex counts once per
     /// vertex, as in the paper's counting).
     pub fn new(g: &'g Cdag, meta: Option<&'g MetaVertices>) -> VertexHitCounter<'g> {
-        VertexHitCounter {
-            g,
-            hits: vec![0; g.n_vertices()],
-            meta: meta.map(|m| (m, vec![0; g.n_vertices()])),
-            paths: 0,
-            length_sum: 0,
-            touched: Vec::new(),
-        }
+        let counter = match meta {
+            None => HitCounter::new(g.n_vertices()),
+            Some(m) => HitCounter::with_groups(
+                g.vertices()
+                    .map(|v| m.root_vertex(m.meta_of(v)).0)
+                    .collect(),
+            ),
+        };
+        VertexHitCounter { g, counter }
     }
 
     /// Records one path. Vertex hits count per occurrence; a meta-vertex is
@@ -63,23 +62,7 @@ impl<'g> VertexHitCounter<'g> {
             }),
             "path contains a non-edge"
         );
-        self.paths += 1;
-        self.length_sum += path.len() as u64;
-        for &v in path {
-            self.hits[v.idx()] += 1;
-        }
-        if let Some((meta, mhits)) = &mut self.meta {
-            self.touched.clear();
-            self.touched.extend(
-                path.iter()
-                    .map(|&v| meta.root_vertex(meta.meta_of(v)).idx()),
-            );
-            self.touched.sort_unstable();
-            self.touched.dedup();
-            for &root in &self.touched {
-                mhits[root] += 1;
-            }
-        }
+        self.counter.add_path(path.iter().map(|v| v.0));
     }
 
     /// Absorbs another counter over the *same graph* (and the same
@@ -91,54 +74,28 @@ impl<'g> VertexHitCounter<'g> {
     /// Panics if the two counters track different graphs or disagree on
     /// meta tracking.
     pub fn merge(&mut self, other: &VertexHitCounter<'g>) {
-        assert_eq!(
-            self.hits.len(),
-            other.hits.len(),
-            "counters must cover the same graph"
-        );
-        for (h, o) in self.hits.iter_mut().zip(&other.hits) {
-            *h += o;
-        }
-        match (&mut self.meta, &other.meta) {
-            (None, None) => {}
-            (Some((_, mh)), Some((_, oh))) => {
-                for (h, o) in mh.iter_mut().zip(oh) {
-                    *h += o;
-                }
-            }
-            _ => panic!("counters disagree on meta-vertex tracking"),
-        }
-        self.paths += other.paths;
-        self.length_sum += other.length_sum;
+        self.counter.merge(&other.counter);
     }
 
     /// Hits of a specific vertex.
     pub fn hits_of(&self, v: VertexId) -> u64 {
-        self.hits[v.idx()]
+        self.counter.hits_of(v.0)
     }
 
     /// Clears all counts (keeping the allocations), so one counter can be
     /// reused across the per-copy verifications of a Fact-1 transport sweep.
     pub fn reset(&mut self) {
-        self.hits.fill(0);
-        if let Some((_, mh)) = &mut self.meta {
-            mh.fill(0);
-        }
-        self.paths = 0;
-        self.length_sum = 0;
+        self.counter.reset();
     }
 
     /// Finishes counting and returns summary statistics.
     pub fn stats(&self) -> RoutingStats {
+        let s = self.counter.summary();
         RoutingStats {
-            paths: self.paths,
-            total_length: self.length_sum,
-            max_vertex_hits: self.hits.iter().copied().max().unwrap_or(0),
-            max_meta_hits: self
-                .meta
-                .as_ref()
-                .map(|(_, mh)| mh.iter().copied().max().unwrap_or(0))
-                .unwrap_or(0),
+            paths: s.paths,
+            total_length: s.total_length,
+            max_vertex_hits: s.max_vertex_hits,
+            max_meta_hits: s.max_group_hits,
         }
     }
 }

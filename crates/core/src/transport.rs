@@ -307,6 +307,59 @@ pub fn verify_transported(g: &Cdag, class: &RoutingClass, pool: &Pool) -> Transp
     }
 }
 
+/// Emits a self-contained, portable routing certificate for `class`
+/// transported into `G_r`: the base coefficients, all `2a^{2k}` paths in
+/// local `G_k` ids, the claimed hit maxima against the `6a^k` bound, and
+/// the full Fact-1 prefix set `[b^{r-k}]`. The standalone `mmio-cert`
+/// verifier re-derives every edge, the copy grouping, the hit counts, and
+/// the transport images from the certificate alone — none of this module
+/// is in its trust base.
+///
+/// # Panics
+/// Panics if `r < k` (there is no transport target).
+pub fn emit_certificate(class: &RoutingClass, r: u32) -> mmio_cert::Certificate {
+    use mmio_cert::format::{BaseSpec, Payload, RoutingPayload};
+    assert!(class.k <= r, "transport requires k <= r");
+    let base = class.gk().base();
+    let copies = mmio_cdag::index::pow(base.b(), r - class.k);
+    let arena = class.paths();
+    #[allow(unused_mut)]
+    let mut paths: Vec<Vec<u32>> = (0..arena.len())
+        .map(|i| arena.path(i).iter().map(|v| v.0).collect())
+        .collect();
+    #[allow(unused_mut)]
+    let mut copy_prefixes: Vec<u64> = (0..copies).collect();
+    #[allow(unused_mut)]
+    let mut max_vertex_hits = class.stats.max_vertex_hits;
+    #[cfg(feature = "mutate")]
+    {
+        use std::sync::atomic::Ordering::SeqCst;
+        if crate::mutate::DROP_LAST_PATH.load(SeqCst) {
+            paths.pop();
+        }
+        if crate::mutate::UNDERCOUNT_VERTEX_HITS.load(SeqCst) {
+            max_vertex_hits = max_vertex_hits.saturating_sub(1);
+        }
+        if crate::mutate::PREFIX_LIE.load(SeqCst) {
+            if let Some(last) = copy_prefixes.last_mut() {
+                *last = 0;
+            }
+        }
+    }
+    mmio_cert::Certificate::new(
+        BaseSpec::from_base(base),
+        Payload::Routing(RoutingPayload {
+            k: class.k,
+            r,
+            bound: class.bound,
+            max_vertex_hits,
+            max_meta_hits: class.stats.max_meta_hits,
+            paths,
+            copy_prefixes,
+        }),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,8 @@
 //!
 //! Run with `cargo run --release -p mmio-examples --example <name>`.
 
+#![forbid(unsafe_code)]
+
 /// Formats a floating bound and an integer measurement side by side.
 pub fn ratio_line(label: &str, measured: u64, bound: f64) -> String {
     let ratio = if bound > 0.0 {

@@ -5,3 +5,5 @@
 //! pipelines from base-graph definition through CDAG semantics, routing
 //! verification, scheduling, and lower-bound certification, plus
 //! property-based invariants.
+
+#![forbid(unsafe_code)]

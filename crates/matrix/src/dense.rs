@@ -362,7 +362,8 @@ impl<T: serde::Deserialize> serde::Deserialize for Matrix<T> {
         let rows = usize::from_value(field("rows")?)?;
         let cols = usize::from_value(field("cols")?)?;
         let data = Vec::<T>::from_value(field("data")?)?;
-        if data.len() != rows * cols {
+        // checked_mul: rows/cols are untrusted, and rows*cols may overflow.
+        if rows.checked_mul(cols) != Some(data.len()) {
             return Err(serde::de::Error::custom("matrix shape/data mismatch"));
         }
         Ok(Matrix { rows, cols, data })

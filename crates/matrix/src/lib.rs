@@ -35,6 +35,8 @@
 //! assert_eq!(Rational::new(2, 4) + Rational::new(1, 2), Rational::ONE);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod block;
 pub mod classical;
 pub mod dense;

@@ -34,6 +34,8 @@
 //! assert!(run.words_per_proc > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod assign;
 pub mod bandwidth;
 pub mod caps;

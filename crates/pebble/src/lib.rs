@@ -54,11 +54,15 @@
 // The scheduler engine is the hot loop of every upper-bound experiment;
 // performance lints are errors here, not suggestions.
 #![deny(clippy::perf)]
+#![forbid(unsafe_code)]
 
 pub mod auto;
 pub mod blocked;
+pub mod cert;
 pub mod game;
 pub mod hierarchy;
+#[cfg(feature = "mutate")]
+pub mod mutate;
 pub mod orders;
 pub mod policy;
 pub mod schedule;

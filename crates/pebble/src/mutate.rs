@@ -1,0 +1,28 @@
+//! Runtime-armed corruption switches for certificate emission — the
+//! engine-side half of the mutation-testing harness for the scheduler (the
+//! certificate-side half lives in `mmio-cert::mutate`, the routing-engine
+//! half in `mmio-core::mutate`).
+//!
+//! Compiled only under the `mutate` feature and dormant until armed, so
+//! cargo feature unification in test builds never changes behavior by
+//! itself.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Silently drop the first `Store` from emitted schedule certificates.
+/// Counters are recomputed from the mutated trace, so the lie is
+/// self-consistent — it must be caught structurally (expected kill:
+/// `MMIO-V025` output-never-stored, or `MMIO-V020` when a later reload
+/// depended on the spill).
+pub static ELIDE_FIRST_STORE: AtomicBool = AtomicBool::new(false);
+
+/// Claim one less peak cache occupancy than the replay shows
+/// (expected kill: `MMIO-V027`).
+pub static UNDERSTATE_PEAK: AtomicBool = AtomicBool::new(false);
+
+/// Disarms every switch (harness hygiene between mutants).
+pub fn disarm_all() {
+    for flag in [&ELIDE_FIRST_STORE, &UNDERSTATE_PEAK] {
+        flag.store(false, Ordering::SeqCst);
+    }
+}

@@ -250,12 +250,26 @@ impl<'a> Parser<'a> {
                         _ => return Err(Error("invalid escape".into())),
                     }
                 }
+                b if b < 0x80 => out.push(b as char),
                 _ => {
-                    // Re-decode UTF-8: back up and take the full char.
+                    // Multibyte UTF-8: back up and decode just this one
+                    // character from a ≤ 4-byte window. Never re-validate
+                    // the whole remaining input per character — that made
+                    // parsing quadratic in the length of long strings.
                     let start = self.pos - 1;
-                    let s = std::str::from_utf8(&self.bytes[start..])
-                        .map_err(|_| Error("invalid UTF-8".into()))?;
-                    let c = s.chars().next().expect("nonempty");
+                    let end = self.bytes.len().min(start + 4);
+                    let window = &self.bytes[start..end];
+                    let valid = match std::str::from_utf8(window) {
+                        Ok(s) => s,
+                        // The window may cut the *next* character short;
+                        // any valid prefix still holds this one whole.
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&window[..e.valid_up_to()])
+                                .expect("validated prefix")
+                        }
+                        Err(_) => return Err(Error("invalid UTF-8".into())),
+                    };
+                    let c = valid.chars().next().expect("nonempty");
                     out.push(c);
                     self.pos = start + c.len_utf8();
                 }
@@ -386,6 +400,23 @@ mod tests {
     fn floats_keep_a_marker() {
         assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
         assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn multibyte_strings_roundtrip() {
+        // Adjacent multibyte chars exercise the decode window cutting the
+        // *next* character short; the tail digits exercise the ASCII path
+        // after a multibyte prefix.
+        let s = "ω₀ ≈ 2.807 — strassen⊗strassen, naïve=false, ✓✓✓ 123".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, s);
+        // A long single-token string parses in linear time; this is the
+        // regression shape (schedule certificates carry ~10⁶-char op
+        // strings), though only correctness is asserted here.
+        let long = "LC".repeat(1 << 18);
+        let back: String = from_str(&to_string(&long).unwrap()).unwrap();
+        assert_eq!(back, long);
     }
 
     #[test]
