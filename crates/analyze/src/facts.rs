@@ -76,7 +76,9 @@ impl GraphFacts {
                     }
                 }
                 Layer::Dec if vr.level > 0 => {
-                    let upsilon = (vr.entry / mmio_cdag::index::pow(a, vr.level - 1)) as usize;
+                    // O(1) radix-table lookup; recomputing `a^{level-1}` per
+                    // vertex made this loop O(n·r).
+                    let upsilon = (vr.entry / g.entry_width(Layer::Dec, vr.level - 1)) as usize;
                     triv_d[upsilon]
                 }
                 _ => false,

@@ -37,6 +37,10 @@
 //! assert!(report.has_code(codes::CDAG_LEMMA1));
 //! ```
 
+// The fact-extraction and audit passes walk every vertex of graphs that
+// reach tens of millions of vertices; performance lints are errors here,
+// as in mmio-cdag and mmio-pebble.
+#![deny(clippy::perf)]
 #![forbid(unsafe_code)]
 
 pub mod cdag;

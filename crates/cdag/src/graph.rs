@@ -90,6 +90,12 @@ pub struct Cdag {
     pred_coeff: Vec<Rational>,
     succ_off: Vec<u32>,
     succ_tgt: Vec<VertexId>,
+    /// Per-row triviality of the base matrices (one nonzero, equal to 1 —
+    /// the copy condition), hoisted once so [`Cdag::copy_parent`] and the
+    /// meta-vertex pass are pure table lookups.
+    triv_a: Vec<bool>,
+    triv_b: Vec<bool>,
+    triv_d: Vec<bool>,
 }
 
 impl Cdag {
@@ -113,6 +119,10 @@ impl Cdag {
                 index::pow(a, entry_len)
             })
             .collect();
+        let b = base.b();
+        let triv_a = (0..b).map(|m| base.row_is_trivial(Side::A, m)).collect();
+        let triv_b = (0..b).map(|m| base.row_is_trivial(Side::B, m)).collect();
+        let triv_d = (0..a).map(|y| base.dec_row_is_trivial(y)).collect();
         Cdag {
             base,
             r,
@@ -123,6 +133,9 @@ impl Cdag {
             pred_coeff,
             succ_off,
             succ_tgt,
+            triv_a,
+            triv_b,
+            triv_d,
         }
     }
 
@@ -165,6 +178,17 @@ impl Cdag {
     pub fn segment_len(&self, layer: Layer, level: u32) -> u64 {
         let s = self.seg_index(layer, level);
         self.seg_offsets[s + 1] - self.seg_offsets[s]
+    }
+
+    /// Dense id of the first vertex of segment `(layer, level)`.
+    pub fn segment_start(&self, layer: Layer, level: u32) -> u64 {
+        self.seg_offsets[self.seg_index(layer, level)]
+    }
+
+    /// `a^{entry_len}` — the precomputed entry-suffix width of segment
+    /// `(layer, level)`, so hot loops never re-evaluate `pow`.
+    pub fn entry_width(&self, layer: Layer, level: u32) -> u64 {
+        self.seg_suffix[self.seg_index(layer, level)]
     }
 
     /// Length of the packed `entry` suffix for vertices in `(layer, level)`.
@@ -285,6 +309,31 @@ impl Cdag {
     pub fn is_output(&self, v: VertexId) -> bool {
         let vr = self.vref(v);
         vr.layer == Layer::Dec && vr.level == self.r
+    }
+
+    /// If `v` is a copy (its generating base row is trivial: one nonzero
+    /// coefficient, equal to 1), its single predecessor; `None` otherwise.
+    pub fn copy_parent(&self, v: VertexId) -> Option<VertexId> {
+        let vr = self.vref(v);
+        let is_copy = match vr.layer {
+            Layer::EncA | Layer::EncB if vr.level > 0 => {
+                let tau = (vr.mul % self.base.b() as u64) as usize;
+                match vr.layer {
+                    Layer::EncA => self.triv_a[tau],
+                    _ => self.triv_b[tau],
+                }
+            }
+            Layer::Dec if vr.level > 0 => {
+                let upsilon = (vr.entry / self.entry_width(Layer::Dec, vr.level - 1)) as usize;
+                self.triv_d[upsilon]
+            }
+            _ => false,
+        };
+        if !is_copy {
+            return None;
+        }
+        debug_assert_eq!(self.preds(v).len(), 1);
+        self.preds(v).first().copied()
     }
 
     /// The input vertex holding `A[(row, col)]`.

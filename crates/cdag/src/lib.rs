@@ -64,8 +64,10 @@ pub mod serialize;
 pub mod stats;
 pub mod traversal;
 pub mod values;
+pub mod view;
 
 pub use base::BaseGraph;
 pub use csr::Csr;
 pub use graph::{Cdag, Layer, VertexId, VertexRef};
 pub use meta::MetaVertices;
+pub use view::{CdagView, ExplicitView, IndexView, ViewError};

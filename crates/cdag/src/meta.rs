@@ -7,8 +7,8 @@
 //! upward-branching subtree rooted at the original value (an input, for
 //! base graphs satisfying the single-use assumption) under multiple copying.
 
-use crate::base::Side;
-use crate::graph::{Cdag, Layer, VertexId};
+use crate::graph::{Cdag, VertexId};
+use crate::view::CdagView;
 use std::collections::HashMap;
 
 /// Identifier of a meta-vertex: the dense id of its *root* — the unique
@@ -32,47 +32,30 @@ impl MetaVertices {
     /// one nonzero coefficient equal to 1. Copies are united with their
     /// single parent; roots are the non-copy vertices.
     pub fn compute(g: &Cdag) -> MetaVertices {
-        let base = g.base();
-        let b = base.b();
-        let a = base.a();
-        // Precompute triviality per base row.
-        let triv_a: Vec<bool> = (0..b).map(|m| base.row_is_trivial(Side::A, m)).collect();
-        let triv_b: Vec<bool> = (0..b).map(|m| base.row_is_trivial(Side::B, m)).collect();
-        let triv_d: Vec<bool> = (0..a).map(|y| base.dec_row_is_trivial(y)).collect();
+        MetaVertices::compute_view(g)
+    }
 
+    /// [`MetaVertices::compute`] over any [`CdagView`] — the copy condition
+    /// and grouping are identical for the explicit and closed-form views
+    /// (equivalence-tested in `mmio-integration`).
+    pub fn compute_view<V: CdagView>(g: &V) -> MetaVertices {
         let n = g.n_vertices();
         let mut root: Vec<u32> = (0..n as u32).collect();
         // Dense order is topological, so a copy's parent already has its
         // final root when we visit the copy: one pass suffices.
-        for v in g.vertices() {
-            let vr = g.vref(v);
-            let is_copy = match vr.layer {
-                Layer::EncA | Layer::EncB if vr.level > 0 => {
-                    let tau = (vr.mul % b as u64) as usize;
-                    match vr.layer {
-                        Layer::EncA => triv_a[tau],
-                        _ => triv_b[tau],
-                    }
-                }
-                Layer::Dec if vr.level > 0 => {
-                    let upsilon = (vr.entry / crate::index::pow(a, vr.level - 1)) as usize;
-                    triv_d[upsilon]
-                }
-                _ => false,
-            };
-            if is_copy {
-                debug_assert_eq!(g.preds(v).len(), 1);
-                root[v.idx()] = root[g.preds(v)[0].idx()];
+        for i in 0..n as u32 {
+            if let Some(p) = g.copy_parent(VertexId(i)) {
+                root[i as usize] = root[p.idx()];
             }
         }
         let mut members: HashMap<u32, Vec<VertexId>> = HashMap::new();
-        for v in g.vertices() {
-            let rt = root[v.idx()];
-            if rt != v.0 {
+        for i in 0..n as u32 {
+            let rt = root[i as usize];
+            if rt != i {
                 members
                     .entry(rt)
                     .or_insert_with(|| vec![VertexId(rt)])
-                    .push(v);
+                    .push(VertexId(i));
             }
         }
         MetaVertices { root, members }
@@ -111,17 +94,22 @@ impl MetaVertices {
     }
 
     /// Number of distinct meta-vertices in the graph.
-    pub fn count(&self, g: &Cdag) -> usize {
-        g.vertices().filter(|v| self.root[v.idx()] == v.0).count()
+    pub fn count<V: CdagView>(&self, g: &V) -> usize {
+        let n = g.n_vertices();
+        (0..n as u32)
+            .filter(|&i| self.root[i as usize] == i)
+            .count()
     }
 
     /// Whether any meta-vertex branches (multiple copying): some member has
     /// two or more copy-children, i.e. the meta-vertex is a tree, not a chain.
-    pub fn has_multiple_copying(&self, g: &Cdag) -> bool {
+    pub fn has_multiple_copying<V: CdagView>(&self, g: &V) -> bool {
+        let mut succs = Vec::new();
         for ms in self.members.values() {
             for &v in ms {
-                let copy_children = g
-                    .succs(v)
+                succs.clear();
+                g.succs_into(v, &mut succs);
+                let copy_children = succs
                     .iter()
                     .filter(|&&s| self.root[s.idx()] == self.root[v.idx()])
                     .count();
@@ -136,7 +124,7 @@ impl MetaVertices {
     /// Meta-vertices adjacent to the meta-closure of `set` that are not in it
     /// — the paper's `δ'(S')` (Definition 1, meta form). `set` is given as
     /// vertices; its meta-closure is taken automatically.
-    pub fn meta_boundary(&self, g: &Cdag, set: &[VertexId]) -> Vec<MetaId> {
+    pub fn meta_boundary<V: CdagView>(&self, g: &V, set: &[VertexId]) -> Vec<MetaId> {
         let mut in_set = vec![false; g.n_vertices()];
         // Meta-closure: mark every member of every touched meta-vertex.
         for &v in set {
@@ -145,11 +133,15 @@ impl MetaVertices {
             }
         }
         let mut seen = std::collections::HashSet::new();
-        for v in g.vertices() {
-            if !in_set[v.idx()] {
+        let mut adj = Vec::new();
+        for i in 0..in_set.len() as u32 {
+            if !in_set[i as usize] {
                 continue;
             }
-            for &w in g.preds(v).iter().chain(g.succs(v)) {
+            adj.clear();
+            g.preds_into(VertexId(i), &mut adj);
+            g.succs_into(VertexId(i), &mut adj);
+            for &w in &adj {
                 if !in_set[w.idx()] {
                     seen.insert(self.meta_of(w));
                 }
@@ -166,6 +158,7 @@ mod tests {
     use super::*;
     use crate::base::BaseGraph;
     use crate::build::build_cdag;
+    use crate::graph::Layer;
     use mmio_matrix::{Matrix, Rational};
 
     fn r_(n: i64) -> Rational {

@@ -179,7 +179,7 @@ pub fn verify(cert: &Certificate) -> Verdict {
 /// Builds the view, mapping construction failures to reject codes. Also
 /// enforces the per-vertex walk ceiling when `walk` is set.
 fn build_view(cert: &Certificate, r: u32, walk: bool, ctx: &mut Ctx) -> Option<IndexView> {
-    let view = match IndexView::new(&cert.base, r) {
+    let view = match crate::view::view_of(&cert.base, r) {
         Ok(v) => v,
         Err(ViewError::Shape(e)) => {
             ctx.reject(codes::V_BASE_INVALID, e);

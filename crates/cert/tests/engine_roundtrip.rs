@@ -5,7 +5,7 @@
 use mmio_cdag::build::build_cdag;
 use mmio_cdag::BaseGraph;
 use mmio_cert::format::Payload;
-use mmio_cert::view::IndexView;
+
 use mmio_cert::{verify, verify_json, Certificate};
 use mmio_core::transport::{emit_certificate, RoutingClass};
 use mmio_parallel::Pool;
@@ -124,7 +124,7 @@ fn certificate_bytes_stable_across_thread_counts() {
 fn view_matches_builder_across_registry() {
     for base in mmio_algos::registry::all_base_graphs() {
         let spec = mmio_cert::format::BaseSpec::from_base(&base);
-        let view = IndexView::new(&spec, 1).unwrap();
+        let view = mmio_cert::view::view_of(&spec, 1).unwrap();
         let g = build_cdag(&base, 1);
         assert_eq!(
             view.n_vertices() as usize,

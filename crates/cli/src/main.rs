@@ -25,6 +25,13 @@
 //! variable; default: all available cores) sets the worker count for the
 //! parallel verification paths. Output is byte-identical at any thread
 //! count.
+//!
+//! The global flag `--view explicit|implicit|auto` (default: `auto`) picks
+//! the `G_r` representation for `simulate`, `certify`, `routing`, and
+//! `cert emit`: `explicit` materializes the graph, `implicit` runs on the
+//! closed-form [`mmio_cdag::IndexView`] (memory independent of `b^r`), and
+//! `auto` switches to the implicit view once the vertex count exceeds a
+//! fixed budget. Output is byte-identical across views wherever both run.
 
 #![forbid(unsafe_code)]
 
@@ -32,19 +39,20 @@ use mmio_algos::registry::all_base_graphs;
 use mmio_cdag::build::build_cdag;
 use mmio_cdag::connectivity::classify;
 use mmio_cdag::serialize;
-use mmio_cdag::BaseGraph;
-use mmio_core::theorem1::{certify_pooled, CertifyParams, LowerBound};
+use mmio_cdag::view::count_vertices;
+use mmio_cdag::{BaseGraph, IndexView};
+use mmio_core::theorem1::{certify_pooled, certify_pooled_view, CertifyParams, LowerBound};
 use mmio_core::theorem2::InOutRouting;
-use mmio_core::transport::{verify_transported, RoutingClass};
+use mmio_core::transport::{verify_transported, verify_transported_view, RoutingClass};
 use mmio_parallel::Pool;
 use mmio_pebble::orders::recursive_order;
 use mmio_pebble::policy::Belady;
-use mmio_pebble::AutoScheduler;
+use mmio_pebble::{AutoScheduler, ViewGraph};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: mmio [--threads N] <command> [args]\n\
+        "usage: mmio [--threads N] [--view explicit|implicit|auto] <command> [args]\n\
          commands:\n  \
          list\n  \
          info     <algo>\n  \
@@ -76,6 +84,59 @@ fn extract_threads(args: &mut Vec<String>) -> Result<Option<usize>, String> {
         .map_err(|_| "invalid --threads value")?;
     args.drain(i..=i + 1);
     Ok(Some(n))
+}
+
+/// Which `G_r` representation the engines run on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum ViewMode {
+    /// Materialize the full graph (`build_cdag`).
+    Explicit,
+    /// Run on the closed-form [`IndexView`] — memory independent of `b^r`.
+    Implicit,
+    /// Explicit below [`AUTO_VERTEX_BUDGET`] vertices, implicit above.
+    Auto,
+}
+
+/// The `auto` policy's switch-over point: `G_r` with more vertices than
+/// this runs implicit. 2²² (≈4.2M) keeps every default-depth workload on
+/// the explicit path (byte-identical output to previous releases) while
+/// routing `r ≥ 8` Strassen-scale graphs to the implicit one.
+const AUTO_VERTEX_BUDGET: u64 = 1 << 22;
+
+/// Strips a `--view MODE` flag (anywhere in the argument list); defaults
+/// to [`ViewMode::Auto`].
+fn extract_view(args: &mut Vec<String>) -> Result<ViewMode, String> {
+    let Some(i) = args.iter().position(|a| a == "--view") else {
+        return Ok(ViewMode::Auto);
+    };
+    let mode = match args.get(i + 1).map(String::as_str) {
+        Some("explicit") => ViewMode::Explicit,
+        Some("implicit") => ViewMode::Implicit,
+        Some("auto") => ViewMode::Auto,
+        Some(other) => return Err(format!("invalid --view '{other}'")),
+        None => return Err("missing value for --view".into()),
+    };
+    args.drain(i..=i + 1);
+    Ok(mode)
+}
+
+/// Resolves the view policy for one `(base, r)` workload. `auto` compares
+/// the closed-form vertex count against [`AUTO_VERTEX_BUDGET`] (overflow
+/// counts as "too big").
+fn use_implicit(mode: ViewMode, base: &BaseGraph, r: u32) -> bool {
+    // The degenerate G_0 (n = 1) has no closed-form view (`IndexView`
+    // requires r ≥ 1); its explicit graph is a handful of vertices.
+    if r == 0 {
+        return false;
+    }
+    match mode {
+        ViewMode::Explicit => false,
+        ViewMode::Implicit => true,
+        ViewMode::Auto => match count_vertices(base.a() as u64, base.b() as u64, r) {
+            Some(n) => n > AUTO_VERTEX_BUDGET,
+            None => true,
+        },
+    }
 }
 
 fn resolve(name: &str) -> Result<BaseGraph, String> {
@@ -178,7 +239,17 @@ fn analyze_target(base: &BaseGraph, r: u32) -> (mmio_analyze::Report, serde_json
 /// witness, and an LRU sweep witness. Depths are capped exactly like
 /// `mmio analyze` so path enumeration and graph size stay tractable.
 /// Bases without a Hall matching simply skip the routing certificate.
-fn emit_certs_for(base: &BaseGraph, r: u32, pool: &Pool) -> Vec<(String, mmio_cert::Certificate)> {
+///
+/// The routing certificate only ever builds `G_k` (the transport into `G_r`
+/// is symbolic), so it is cheap at any `r`. The schedule and sweep witnesses
+/// replay explicit schedules, so under the implicit view their depth is
+/// additionally capped at 4 — the routing certificate is the scaling story.
+fn emit_certs_for(
+    base: &BaseGraph,
+    r: u32,
+    pool: &Pool,
+    implicit: bool,
+) -> Vec<(String, mmio_cert::Certificate)> {
     use mmio_pebble::cert::{emit_schedule_certificate, emit_sweep_certificate};
     use mmio_pebble::sweep::{sweep, PolicySpec};
 
@@ -193,7 +264,10 @@ fn emit_certs_for(base: &BaseGraph, r: u32, pool: &Pool) -> Vec<(String, mmio_ce
         ));
     }
 
-    let sched_r = if base.b() > 30 { r.min(2) } else { r };
+    let mut sched_r = if base.b() > 30 { r.min(2) } else { r };
+    if implicit {
+        sched_r = sched_r.min(4);
+    }
     let g = build_cdag(base, sched_r);
     let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(1) + 1;
     let m = need + 4;
@@ -237,6 +311,7 @@ fn expand_cert_paths(operands: &[&String]) -> Result<Vec<std::path::PathBuf>, St
 fn run() -> Result<ExitCode, String> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let explicit_threads = extract_threads(&mut args)?;
+    let view = extract_view(&mut args)?;
     let pool = Pool::from_env(explicit_threads);
     let Some(cmd) = args.first() else {
         return Err("no command".into());
@@ -297,13 +372,22 @@ fn run() -> Result<ExitCode, String> {
             let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
             let r: u32 = parse(args.get(2), "r")?;
             let m: usize = parse(args.get(3), "M")?;
-            let g = build_cdag(&base, r);
-            let order = recursive_order(&g);
-            let stats = AutoScheduler::new(&g, m).run(&order, &mut Belady);
-            let bound = LowerBound::new(&base).sequential_io(g.n(), m as u64);
+            // Both paths run the identical engine on identical (preds,
+            // order) data, so the stats — and this line — are byte-equal.
+            let stats = if use_implicit(view, &base, r) {
+                let v = IndexView::from_base(&base, r);
+                let order = recursive_order(&v);
+                let vg = ViewGraph::from_view(&v);
+                AutoScheduler::new(&vg, m).run(&order, &mut Belady)
+            } else {
+                let g = build_cdag(&base, r);
+                let order = recursive_order(&g);
+                AutoScheduler::new(&g, m).run(&order, &mut Belady)
+            };
+            let n = mmio_cdag::index::pow(base.n0(), r);
+            let bound = LowerBound::new(&base).sequential_io(n, m as u64);
             println!(
-                "n = {}, M = {m}: {} loads + {} stores = {} I/Os (Ω bound {:.0}, ratio {:.2})",
-                g.n(),
+                "n = {n}, M = {m}: {} loads + {} stores = {} I/Os (Ω bound {:.0}, ratio {:.2})",
                 stats.loads,
                 stats.stores,
                 stats.io(),
@@ -315,9 +399,15 @@ fn run() -> Result<ExitCode, String> {
             let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
             let r: u32 = parse(args.get(2), "r")?;
             let m: u64 = parse(args.get(3), "M")?;
-            let g = build_cdag(&base, r);
-            let order = recursive_order(&g);
-            let cert = certify_pooled(&g, m, &order, CertifyParams::SMALL, &pool);
+            let cert = if use_implicit(view, &base, r) {
+                let v = IndexView::from_base(&base, r);
+                let order = recursive_order(&v);
+                certify_pooled_view(&base, &v, m, &order, CertifyParams::SMALL, &pool)
+            } else {
+                let g = build_cdag(&base, r);
+                let order = recursive_order(&g);
+                certify_pooled(&g, m, &order, CertifyParams::SMALL, &pool)
+            };
             println!(
                 "n = {}, M = {m}: {} complete segments, certified I/O ≥ {}",
                 cert.n, cert.analysis.complete_segments, cert.analysis.certified_io
@@ -356,8 +446,13 @@ fn run() -> Result<ExitCode, String> {
                 }
                 let class = RoutingClass::build(&base, k, &pool)
                     .expect("Hall matching exists (verified above)");
-                let gr = build_cdag(&base, r);
-                let tr = verify_transported(&gr, &class, &pool);
+                let tr = if use_implicit(view, &base, r) {
+                    let gr = IndexView::from_base(&base, r);
+                    verify_transported_view(&gr, &class, &pool)
+                } else {
+                    let gr = build_cdag(&base, r);
+                    verify_transported(&gr, &class, &pool)
+                };
                 println!(
                     "transported into G_{r}: {} copies × {} paths, max hits {}/{} \
                      (bound {}), edge violations {}, uniform {} → {}",
@@ -534,7 +629,8 @@ fn run() -> Result<ExitCode, String> {
                         .map_err(|e| format!("{}: {e}", out_dir.display()))?;
                     let mut written = Vec::new();
                     for base in &bases {
-                        for (file, cert) in emit_certs_for(base, r, &pool) {
+                        let implicit = use_implicit(view, base, r);
+                        for (file, cert) in emit_certs_for(base, r, &pool, implicit) {
                             let path = out_dir.join(file);
                             std::fs::write(&path, cert.to_json())
                                 .map_err(|e| format!("{}: {e}", path.display()))?;

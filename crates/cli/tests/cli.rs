@@ -223,3 +223,76 @@ fn bad_threads_value_fails() {
     let out = mmio(&["--threads"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn certify_golden_across_views_and_threads() {
+    // The view-equivalence contract: `--view explicit` and `--view
+    // implicit` (and `auto`, which resolves to one of them) produce
+    // byte-identical certify output at every thread count. The expected
+    // bytes are pinned so a drift in either path fails loudly.
+    let golden = "n = 8, M = 4: 36 complete segments, certified I/O ≥ 1422\n\
+                  (k = 1, feasible = false, disjoint subcomputations = 49 ≥ target 1)\n";
+    for view in ["explicit", "implicit", "auto"] {
+        for threads in ["1", "2", "8"] {
+            let out = mmio(&[
+                "--threads",
+                threads,
+                "--view",
+                view,
+                "certify",
+                "strassen",
+                "3",
+                "4",
+            ]);
+            assert!(out.status.success(), "view={view} threads={threads}");
+            assert_eq!(
+                String::from_utf8(out.stdout).unwrap(),
+                golden,
+                "certify bytes diverge at view={view} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulate_identical_across_views() {
+    let explicit = mmio(&["--view", "explicit", "simulate", "strassen", "3", "64"]);
+    let implicit = mmio(&["--view", "implicit", "simulate", "strassen", "3", "64"]);
+    assert!(explicit.status.success() && implicit.status.success());
+    assert_eq!(explicit.stdout, implicit.stdout);
+}
+
+#[test]
+fn routing_transport_identical_across_views() {
+    let explicit = mmio(&["--view", "explicit", "routing", "winograd", "1", "3"]);
+    let implicit = mmio(&["--view", "implicit", "routing", "winograd", "1", "3"]);
+    assert!(explicit.status.success() && implicit.status.success());
+    assert_eq!(explicit.stdout, implicit.stdout);
+    assert!(String::from_utf8(implicit.stdout)
+        .unwrap()
+        .contains("VERIFIED"));
+}
+
+#[test]
+fn bad_view_value_fails() {
+    let out = mmio(&["--view", "lazy", "list"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("invalid --view"));
+    let out = mmio(&["--view"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn degenerate_r0_legal_under_every_view() {
+    // r = 0 (n = 1) has no closed-form view; the CLI must fall back to
+    // the explicit graph rather than panic, whatever `--view` says.
+    let golden = mmio(&["simulate", "strassen", "0", "4"]);
+    assert!(golden.status.success());
+    for view in ["explicit", "implicit", "auto"] {
+        let out = mmio(&["--view", view, "simulate", "strassen", "0", "4"]);
+        assert!(out.status.success(), "view={view} at r=0");
+        assert_eq!(out.stdout, golden.stdout, "view={view} at r=0");
+    }
+}

@@ -8,25 +8,45 @@
 //! condition holds (both encodings contain a nontrivial row); tests check
 //! that guarantee on every library base graph.
 
-use mmio_cdag::fact1::Subcomputation;
 use mmio_cdag::meta::MetaId;
-use mmio_cdag::{index, Cdag, MetaVertices};
+use mmio_cdag::{index, CdagView, Layer, MetaVertices, VertexRef};
 use std::collections::HashSet;
 
 /// The input meta-vertex set of subcomputation `i` of depth `k`.
-pub fn input_metas(g: &Cdag, meta: &MetaVertices, k: u32, prefix: u64) -> HashSet<MetaId> {
-    Subcomputation::new(g, k, prefix)
-        .input_vertices()
-        .into_iter()
-        .map(|v| meta.meta_of(v))
-        .collect()
+///
+/// Inputs are written in closed form (the Fact-1 copy's `2a^k` encoding
+/// rank-`r-k` vertices with `mul = i`), so this works over any
+/// [`CdagView`] without materializing the graph.
+pub fn input_metas<V: CdagView>(
+    g: &V,
+    meta: &MetaVertices,
+    k: u32,
+    prefix: u64,
+) -> HashSet<MetaId> {
+    let ak = index::pow(g.a(), k);
+    let mut out = HashSet::with_capacity(2 * ak as usize);
+    for layer in [Layer::EncA, Layer::EncB] {
+        for entry in 0..ak {
+            let v = g
+                .try_id(VertexRef {
+                    layer,
+                    level: g.r() - k,
+                    mul: prefix,
+                    entry,
+                })
+                .expect("subcomputation input in range");
+            out.insert(meta.meta_of(v));
+        }
+    }
+    out
 }
 
 /// Greedily selects a maximal prefix-ordered collection of mutually
 /// input-disjoint subcomputations of depth `k`. Disjointness is *verified*,
 /// not assumed.
-pub fn select_input_disjoint(g: &Cdag, meta: &MetaVertices, k: u32) -> Vec<u64> {
-    let count = Subcomputation::count(g, k);
+pub fn select_input_disjoint<V: CdagView>(g: &V, meta: &MetaVertices, k: u32) -> Vec<u64> {
+    assert!(k <= g.r(), "k must be at most r");
+    let count = index::pow(g.b(), g.r() - k);
     let mut used: HashSet<MetaId> = HashSet::new();
     let mut chosen = Vec::new();
     for prefix in 0..count {
@@ -40,13 +60,13 @@ pub fn select_input_disjoint(g: &Cdag, meta: &MetaVertices, k: u32) -> Vec<u64> 
 }
 
 /// The Lemma 1 target size: `b^{r-k-2}` (for `k ≤ r-2`).
-pub fn lemma1_target(g: &Cdag, k: u32) -> u64 {
+pub fn lemma1_target<V: CdagView>(g: &V, k: u32) -> u64 {
     assert!(k + 2 <= g.r(), "Lemma 1 requires k ≤ r-2");
-    index::pow(g.base().b(), g.r() - k - 2)
+    index::pow(g.b(), g.r() - k - 2)
 }
 
 /// Exhaustively verifies that the selection is mutually input-disjoint.
-pub fn verify_disjoint(g: &Cdag, meta: &MetaVertices, k: u32, chosen: &[u64]) -> bool {
+pub fn verify_disjoint<V: CdagView>(g: &V, meta: &MetaVertices, k: u32, chosen: &[u64]) -> bool {
     let mut seen: HashSet<MetaId> = HashSet::new();
     for &prefix in chosen {
         for m in input_metas(g, meta, k, prefix) {
@@ -64,6 +84,7 @@ mod tests {
     use mmio_algos::classical::classical;
     use mmio_algos::strassen::{strassen, winograd};
     use mmio_cdag::build::build_cdag;
+    use mmio_cdag::fact1::Subcomputation;
 
     #[test]
     fn strassen_selection_meets_lemma1_bound() {

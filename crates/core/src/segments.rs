@@ -11,8 +11,7 @@
 //! cache / allowed to stay), so each complete segment costs at least `M`
 //! I/Os.
 
-use mmio_cdag::fact1::Subcomputation;
-use mmio_cdag::{index, Cdag, Layer, MetaVertices, VertexId, VertexRef};
+use mmio_cdag::{index, Cdag, CdagView, Layer, MetaVertices, VertexId, VertexRef};
 use mmio_parallel::Pool;
 use serde::Serialize;
 
@@ -24,8 +23,8 @@ use serde::Serialize;
 /// The paper uses `multiplier = 72` and notes it "did not optimize for the
 /// constant factor"; smaller multipliers give certificates at smaller
 /// scales (the ablation bench sweeps this).
-pub fn choose_k(g: &Cdag, m: u64, multiplier: u64) -> (u32, bool) {
-    let a = g.base().a();
+pub fn choose_k<V: CdagView>(g: &V, m: u64, multiplier: u64) -> (u32, bool) {
+    let a = g.a();
     let mut k = 1u32;
     while index::pow(a, k) < multiplier * m && k < 63 {
         k += 1;
@@ -39,14 +38,38 @@ pub fn choose_k(g: &Cdag, m: u64, multiplier: u64) -> (u32, bool) {
 
 /// Membership mask of the counted ranks: encoding rank `r-k` (both sides)
 /// and decoding rank `k`, restricted to subcomputations in `chosen`.
-pub fn counted_mask(g: &Cdag, k: u32, chosen: &[u64]) -> Vec<bool> {
+///
+/// The counted vertices of subcomputation `i` are written in closed form
+/// (the Fact-1 copy's `2a^k` inputs on encoding rank `r-k` and `a^k`
+/// outputs on decoding rank `k`, `mul = i`), so this works over any
+/// [`CdagView`] without materializing the graph.
+pub fn counted_mask<V: CdagView>(g: &V, k: u32, chosen: &[u64]) -> Vec<bool> {
     let mut mask = vec![false; g.n_vertices()];
+    let ak = index::pow(g.a(), k);
+    let r = g.r();
     for &prefix in chosen {
-        let sub = Subcomputation::new(g, k, prefix);
-        for v in sub.input_vertices() {
-            mask[v.idx()] = true;
+        for layer in [Layer::EncA, Layer::EncB] {
+            for entry in 0..ak {
+                let v = g
+                    .try_id(VertexRef {
+                        layer,
+                        level: r - k,
+                        mul: prefix,
+                        entry,
+                    })
+                    .expect("subcomputation input in range");
+                mask[v.idx()] = true;
+            }
         }
-        for v in sub.output_vertices() {
+        for entry in 0..ak {
+            let v = g
+                .try_id(VertexRef {
+                    layer: Layer::Dec,
+                    level: k,
+                    mul: prefix,
+                    entry,
+                })
+                .expect("subcomputation output in range");
             mask[v.idx()] = true;
         }
     }
@@ -105,8 +128,8 @@ pub struct SegmentAnalysis {
 /// later beyond the `M` that may remain in cache (one store each —
 /// creation segments are unique per meta, so the charges are disjoint
 /// I/O events).
-pub fn analyze(
-    g: &Cdag,
+pub fn analyze<V: CdagView + Sync>(
+    g: &V,
     meta: &MetaVertices,
     order: &[VertexId],
     counted: &[bool],
@@ -120,8 +143,8 @@ pub fn analyze(
 /// One segment's boundary and I/O quantities. `vs = order[start..end]` is
 /// the segment's computed vertices; `pos` maps every vertex to its position
 /// in the order (`u64::MAX` for inputs).
-fn segment_report(
-    g: &Cdag,
+fn segment_report<V: CdagView>(
+    g: &V,
     meta: &MetaVertices,
     pos: &[u64],
     vs: &[VertexId],
@@ -141,8 +164,11 @@ fn segment_report(
     // earlier segment needed its operands then, not now — charging them
     // again here would double-count loads and break soundness.)
     let mut read_roots = std::collections::HashSet::new();
+    let mut adj: Vec<VertexId> = Vec::new();
     for &v in vs {
-        for &p in g.preds(v) {
+        adj.clear();
+        g.preds_into(v, &mut adj);
+        for &p in &adj {
             if !in_closure[p.idx()] {
                 read_roots.insert(meta.meta_of(p));
             }
@@ -160,10 +186,13 @@ fn segment_report(
             continue; // root is an input or computed in another segment
         }
         let needed_later = meta.members_of(root).into_iter().any(|member| {
-            g.is_output(member)
-                || g.succs(member)
-                    .iter()
-                    .any(|&s| pos[s.idx()] != u64::MAX && pos[s.idx()] >= end_pos)
+            if g.is_output(member) {
+                return true;
+            }
+            adj.clear();
+            g.succs_into(member, &mut adj);
+            adj.iter()
+                .any(|&s| pos[s.idx()] != u64::MAX && pos[s.idx()] >= end_pos)
         });
         if needed_later {
             write_roots.insert(meta.meta_of(root));
@@ -189,8 +218,8 @@ fn segment_report(
 /// results in segment order, so the analysis is byte-identical to the
 /// serial path at any thread count.
 #[allow(clippy::too_many_arguments)] // mirrors `analyze`, plus the pool
-pub fn analyze_with(
-    g: &Cdag,
+pub fn analyze_with<V: CdagView + Sync>(
+    g: &V,
     meta: &MetaVertices,
     order: &[VertexId],
     counted: &[bool],
@@ -303,12 +332,12 @@ pub fn choose_k_section5(g: &Cdag, m: u64, multiplier: u64) -> u32 {
 }
 
 /// Sanity helper: all counted vertices must lie on the three counted ranks.
-pub fn counted_ranks_only(g: &Cdag, k: u32, counted: &[bool]) -> bool {
-    g.vertices().all(|v| {
-        if !counted[v.idx()] {
+pub fn counted_ranks_only<V: CdagView>(g: &V, k: u32, counted: &[bool]) -> bool {
+    (0..g.n_vertices() as u32).all(|i| {
+        if !counted[i as usize] {
             return true;
         }
-        let vr: VertexRef = g.vref(v);
+        let vr: VertexRef = g.try_vref(VertexId(i)).expect("id in range");
         match vr.layer {
             Layer::EncA | Layer::EncB => vr.level == g.r() - k,
             Layer::Dec => vr.level == k,

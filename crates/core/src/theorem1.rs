@@ -10,7 +10,7 @@
 
 use crate::lemma1;
 use crate::segments::{self, SegmentAnalysis};
-use mmio_cdag::{index, Cdag, MetaVertices, VertexId};
+use mmio_cdag::{index, BaseGraph, Cdag, CdagView, MetaVertices, VertexId};
 use serde::Serialize;
 
 /// The Theorem 1 formulas for one algorithm family.
@@ -137,29 +137,55 @@ pub fn certify_pooled(
     params: CertifyParams,
     pool: &mmio_parallel::Pool,
 ) -> Certificate {
-    let meta = MetaVertices::compute(g);
+    certify_pooled_view(g.base(), g, m, order, params, pool)
+}
+
+/// [`certify_pooled`] over any [`CdagView`]: the whole pipeline — meta
+/// grouping, Lemma 1 selection, counted mask, segment analysis — runs on
+/// the view's closed-form adjacency, so an [`mmio_cdag::IndexView`] yields
+/// the same certificate as the materialized graph without ever allocating
+/// its edge lists (equivalence pinned by `view_certificate_matches_explicit`
+/// below and the CLI golden test).
+///
+/// `base` must be the base graph the view was derived from (it supplies the
+/// name and the Theorem 1 formula constants).
+pub fn certify_pooled_view<V: CdagView + Sync>(
+    base: &BaseGraph,
+    g: &V,
+    m: u64,
+    order: &[VertexId],
+    params: CertifyParams,
+    pool: &mmio_parallel::Pool,
+) -> Certificate {
+    assert_eq!(
+        (base.a(), base.b()),
+        (g.a(), g.b()),
+        "view must come from this base graph"
+    );
+    let n = index::pow(base.n0(), g.r());
+    let meta = MetaVertices::compute_view(g);
     let (k, k_feasible) = segments::choose_k(g, m, params.k_multiplier);
     let chosen = lemma1::select_input_disjoint(g, &meta, k);
     let counted = segments::counted_mask(g, k, &chosen);
     let threshold = params.threshold_multiplier * m;
     let analysis = segments::analyze_with(g, &meta, order, &counted, m, threshold, k, pool);
     let lemma1_target = if k + 2 <= g.r() {
-        index::pow(g.base().b(), g.r() - k - 2)
+        index::pow(base.b(), g.r() - k - 2)
     } else {
         0
     };
-    let bound = LowerBound::new(g.base());
+    let bound = LowerBound::new(base);
     Certificate {
-        base: g.base().name().to_string(),
+        base: base.name().to_string(),
         r: g.r(),
-        n: g.n(),
+        n,
         m,
         k,
         k_feasible,
         disjoint_subcomputations: chosen.len() as u64,
         lemma1_target,
         analysis,
-        formula_value: bound.sequential_io(g.n(), m),
+        formula_value: bound.sequential_io(n, m),
     }
 }
 
@@ -212,6 +238,22 @@ mod tests {
         assert!(cert.disjoint_subcomputations >= cert.lemma1_target);
         assert!(cert.analysis.complete_segments > 0);
         assert!(cert.analysis.certified_io > 0);
+    }
+
+    #[test]
+    fn view_certificate_matches_explicit() {
+        use mmio_cdag::IndexView;
+        let base = strassen();
+        let g = build_cdag(&base, 3);
+        let order = orders::recursive_order(&g);
+        let pool = mmio_parallel::Pool::serial();
+        for m in [2u64, 6] {
+            let explicit = certify_pooled(&g, m, &order, CertifyParams::SMALL, &pool);
+            let view = IndexView::from_base(&base, 3);
+            let implicit =
+                certify_pooled_view(&base, &view, m, &order, CertifyParams::SMALL, &pool);
+            assert_eq!(format!("{explicit:?}"), format!("{implicit:?}"));
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ use crate::routing::{PathArena, RoutingStats, VertexHitCounter};
 use crate::theorem2::InOutRouting;
 use mmio_cdag::build::build_cdag;
 use mmio_cdag::fact1::Subcomputation;
-use mmio_cdag::{BaseGraph, Cdag, MetaVertices, VertexId};
+use mmio_cdag::{BaseGraph, Cdag, CdagView, MetaVertices, VertexId};
 use mmio_parallel::events::{self, SyncEvent};
 use mmio_parallel::Pool;
 use serde::Serialize;
@@ -307,6 +307,102 @@ pub fn verify_transported(g: &Cdag, class: &RoutingClass, pool: &Pool) -> Transp
     }
 }
 
+/// [`verify_transported`] over any [`CdagView`] of `G_r`: the same
+/// transport — full global edge re-walk of every path in every copy, plus
+/// per-copy hit counting — against the view's closed-form adjacency instead
+/// of materialized `preds`/`succs` slices. With an
+/// [`mmio_cdag::IndexView`], peak memory is `O(|V(G_k)| + paths)`
+/// regardless of `r`, which is what lets the transport argument be checked
+/// at `r ≥ 8` where `G_r` itself does not fit. Same chunking and
+/// prefix-order merge, so the report is byte-identical to
+/// [`verify_transported`] at any thread count (pinned by
+/// `view_transport_matches_explicit` below).
+///
+/// # Panics
+/// Panics if `gr`'s `(a, b)` differ from the class's base graph, or if
+/// `class.k > gr.r()`.
+pub fn verify_transported_view<V: CdagView + Sync>(
+    gr: &V,
+    class: &RoutingClass,
+    pool: &Pool,
+) -> TransportReport {
+    assert_eq!(
+        (gr.a(), gr.b()),
+        (class.gk.base().a(), class.gk.base().b()),
+        "class and view must share a base graph"
+    );
+    assert!(class.k <= gr.r(), "transport requires k <= r");
+    let copies = mmio_cdag::index::pow(gr.b(), gr.r() - class.k);
+    let chunks = ((pool.threads() * 4).min(copies.max(1) as usize)).max(1);
+    let per_chunk: Vec<Vec<CopyStats>> = pool.map(chunks, |c| {
+        let start = copies * c as u64 / chunks as u64;
+        let end = copies * (c as u64 + 1) / chunks as u64;
+        let n_local = class.gk.n_vertices();
+        let mut table: Vec<VertexId> = Vec::with_capacity(n_local);
+        let mut counter = VertexHitCounter::new(&class.gk, Some(&class.meta));
+        let (mut preds, mut succs) = (Vec::new(), Vec::new());
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for prefix in start..end {
+            // The Fact-1 translation table, from the view's closed-form
+            // lift instead of `Subcomputation` (which needs the full Cdag).
+            table.clear();
+            table.extend((0..n_local as u32).map(|lv| {
+                gr.lift_from(&class.gk, prefix, VertexId(lv))
+                    .expect("Fact-1 lift in range")
+            }));
+            counter.reset();
+            let mut edge_violations = 0u64;
+            for path in class.paths.iter() {
+                counter.add_path(path);
+                for w in path.windows(2) {
+                    let (gu, gv) = (table[w[0].idx()], table[w[1].idx()]);
+                    preds.clear();
+                    succs.clear();
+                    gr.preds_into(gv, &mut preds);
+                    gr.succs_into(gv, &mut succs);
+                    if !(preds.contains(&gu) || succs.contains(&gu)) {
+                        edge_violations += 1;
+                    }
+                }
+            }
+            let stats = counter.stats();
+            out.push(CopyStats {
+                max_vertex_hits: stats.max_vertex_hits,
+                max_meta_hits: stats.max_meta_hits,
+                edge_violations,
+            });
+        }
+        out
+    });
+
+    let mut merged = CopyStats {
+        max_vertex_hits: 0,
+        max_meta_hits: 0,
+        edge_violations: 0,
+    };
+    let mut uniform = true;
+    let mut first: Option<CopyStats> = None;
+    for cs in per_chunk.iter().flatten() {
+        merged.max_vertex_hits = merged.max_vertex_hits.max(cs.max_vertex_hits);
+        merged.max_meta_hits = merged.max_meta_hits.max(cs.max_meta_hits);
+        merged.edge_violations += cs.edge_violations;
+        match &first {
+            None => first = Some(*cs),
+            Some(f) => uniform &= f == cs,
+        }
+    }
+    TransportReport {
+        k: class.k,
+        copies,
+        paths_per_copy: class.paths.len() as u64,
+        bound: class.bound,
+        max_vertex_hits: merged.max_vertex_hits,
+        max_meta_hits: merged.max_meta_hits,
+        edge_violations: merged.edge_violations,
+        uniform,
+    }
+}
+
 /// Emits a self-contained, portable routing certificate for `class`
 /// transported into `G_r`: the base coefficients, all `2a^{2k}` paths in
 /// local `G_k` ids, the claimed hit maxima against the `6a^k` bound, and
@@ -451,6 +547,30 @@ mod tests {
         let report = verify_transported(&g, &class, &pool);
         assert_eq!(report.copies, 23); // b^{r-k}
         assert!(report.verified(), "{report:?}");
+    }
+
+    #[test]
+    fn view_transport_matches_explicit() {
+        use mmio_cdag::IndexView;
+        let base = strassen();
+        let g = build_cdag(&base, 3);
+        let view = IndexView::from_base(&base, 3);
+        for threads in [1usize, 4] {
+            let pool = if threads == 1 {
+                Pool::serial()
+            } else {
+                Pool::new(threads)
+            };
+            let class = RoutingClass::build(&base, 1, &pool).unwrap();
+            let explicit = verify_transported(&g, &class, &pool);
+            // Same report whether G_r is materialized, wrapped as a view,
+            // or purely closed-form.
+            let via_cdag = verify_transported_view(&g, &class, &pool);
+            let via_index = verify_transported_view(&view, &class, &pool);
+            assert_eq!(format!("{explicit:?}"), format!("{via_cdag:?}"));
+            assert_eq!(format!("{explicit:?}"), format!("{via_index:?}"));
+            assert!(explicit.verified());
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod reference;
 
+use crate::graph::PebbleGraph;
 use crate::policy::{PolicyKind, ReplacementPolicy};
 use crate::schedule::{Action, Schedule};
 use crate::stats::{EngineCounters, IoStats};
@@ -133,7 +134,7 @@ impl SchedScratch {
     /// Builds the flat CSR use-lists and compute positions for `(g, order)`,
     /// reusing existing allocations. Must be called before
     /// [`AutoScheduler::run_prepared`] with the same graph and order.
-    pub fn prepare(&mut self, g: &Cdag, order: &[VertexId]) {
+    pub fn prepare<G: PebbleGraph>(&mut self, g: &G, order: &[VertexId]) {
         let n = g.n_vertices();
         self.compute_pos.clear();
         self.compute_pos.resize(n, u64::MAX);
@@ -153,17 +154,20 @@ impl SchedScratch {
     }
 }
 
-/// Scheduler for one CDAG under a fixed cache size.
-pub struct AutoScheduler<'g> {
-    g: &'g Cdag,
+/// Scheduler for one CDAG under a fixed cache size. Generic over the
+/// graph's representation: the full [`Cdag`] (the default) or any other
+/// [`PebbleGraph`], e.g. a [`crate::ViewGraph`] materialized from a
+/// closed-form view.
+pub struct AutoScheduler<'g, G: PebbleGraph = Cdag> {
+    g: &'g G,
     m: usize,
 }
 
-impl<'g> AutoScheduler<'g> {
+impl<'g, G: PebbleGraph> AutoScheduler<'g, G> {
     /// Creates a scheduler with cache size `m`, or reports why it cannot
     /// schedule anything (`m < max_indegree + 1`).
-    pub fn try_new(g: &'g Cdag, m: usize) -> Result<AutoScheduler<'g>, CacheTooSmall> {
-        let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
+    pub fn try_new(g: &'g G, m: usize) -> Result<AutoScheduler<'g, G>, CacheTooSmall> {
+        let need = g.max_indegree() + 1;
         if m < need {
             return Err(CacheTooSmall { m, need });
         }
@@ -175,7 +179,7 @@ impl<'g> AutoScheduler<'g> {
     /// # Panics
     /// Panics if `m` is too small to compute some vertex at all
     /// (`m < max_indegree + 1`).
-    pub fn new(g: &'g Cdag, m: usize) -> AutoScheduler<'g> {
+    pub fn new(g: &'g G, m: usize) -> AutoScheduler<'g, G> {
         match AutoScheduler::try_new(g, m) {
             Ok(s) => s,
             Err(e) => panic!("{e}"),
@@ -227,7 +231,7 @@ impl<'g> AutoScheduler<'g> {
         let n = g.n_vertices();
         debug_assert_eq!(
             order.len(),
-            g.vertices().filter(|&v| !g.is_input(v)).count(),
+            (0..n as u32).filter(|&i| !g.is_input(VertexId(i))).count(),
             "order must cover every non-input vertex exactly once"
         );
         debug_assert_eq!(

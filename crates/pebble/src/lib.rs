@@ -60,6 +60,7 @@ pub mod auto;
 pub mod blocked;
 pub mod cert;
 pub mod game;
+pub mod graph;
 pub mod hierarchy;
 #[cfg(feature = "mutate")]
 pub mod mutate;
@@ -72,6 +73,7 @@ pub mod sweep;
 pub mod trace;
 
 pub use auto::{AutoScheduler, CacheTooSmall, RunOptions, RunOutput, SchedScratch};
+pub use graph::{PebbleGraph, ViewGraph};
 pub use schedule::{Action, Schedule};
 pub use stats::{EngineCounters, IoStats};
 pub use sweep::{GridPoint, PolicySpec, SweepError, SweepPoint, SweepRun};

@@ -2,15 +2,19 @@
 //! over ("the number of cache I/Os required may depend on the order in which
 //! intermediate values of the algorithm are computed", Section 1).
 
-use mmio_cdag::{Cdag, Layer, VertexId, VertexRef};
+use crate::graph::PebbleGraph;
+use mmio_cdag::{Cdag, CdagView, Layer, VertexId, VertexRef};
 use rand::Rng;
 
 /// Rank-by-rank order (all of encoding rank 1, then rank 2, …): the natural
 /// breadth-first order with pessimal temporal locality — entire ranks
 /// (`Θ(n²)` and larger) must round-trip through slow memory once `M` is
-/// small.
-pub fn rank_order(g: &Cdag) -> Vec<VertexId> {
-    g.vertices().filter(|&v| !g.is_input(v)).collect()
+/// small. (Dense id order *is* rank order, so filtering ids suffices.)
+pub fn rank_order<G: PebbleGraph>(g: &G) -> Vec<VertexId> {
+    (0..g.n_vertices() as u32)
+        .map(VertexId)
+        .filter(|&v| !g.is_input(v))
+        .collect()
 }
 
 /// The recursive depth-first order of the actual Strassen-like algorithm:
@@ -21,13 +25,13 @@ pub fn rank_order(g: &Cdag) -> Vec<VertexId> {
 /// Emission for a subproblem with multiplication prefix `p` at depth `d`:
 /// for each child `m`: emit the child's encoded inputs (both sides), recurse;
 /// afterwards emit the decode of this subproblem's outputs.
-pub fn recursive_order(g: &Cdag) -> Vec<VertexId> {
+pub fn recursive_order<V: CdagView>(g: &V) -> Vec<VertexId> {
     let r = g.r();
-    let (a, b) = (g.base().a(), g.base().b());
+    let (a, b) = (g.a(), g.b());
     let mut order = Vec::with_capacity(g.n_vertices());
 
-    fn visit(
-        g: &Cdag,
+    fn visit<V: CdagView>(
+        g: &V,
         order: &mut Vec<VertexId>,
         prefix: u64,
         depth: u32,
@@ -35,9 +39,10 @@ pub fn recursive_order(g: &Cdag) -> Vec<VertexId> {
         b: usize,
         r: u32,
     ) {
+        let id = |vr: VertexRef| g.try_id(vr).expect("recursive order stays in range");
         if depth == r {
             // Leaf: the product vertex itself.
-            order.push(g.id(VertexRef {
+            order.push(id(VertexRef {
                 layer: Layer::Dec,
                 level: 0,
                 mul: prefix,
@@ -51,7 +56,7 @@ pub fn recursive_order(g: &Cdag) -> Vec<VertexId> {
             // Encode the child's inputs (both sides, all entries).
             for layer in [Layer::EncA, Layer::EncB] {
                 for e in 0..suffix {
-                    order.push(g.id(VertexRef {
+                    order.push(id(VertexRef {
                         layer,
                         level: depth + 1,
                         mul: child,
@@ -64,7 +69,7 @@ pub fn recursive_order(g: &Cdag) -> Vec<VertexId> {
         // Decode this subproblem's outputs (decoding rank r-depth).
         let out_suffix = mmio_cdag::index::pow(a, r - depth);
         for e in 0..out_suffix {
-            order.push(g.id(VertexRef {
+            order.push(id(VertexRef {
                 layer: Layer::Dec,
                 level: r - depth,
                 mul: prefix,
@@ -108,9 +113,9 @@ pub fn random_topo_order<R: Rng>(g: &Cdag, rng: &mut R) -> Vec<VertexId> {
 
 /// Checks that `order` covers every non-input vertex once, in an order
 /// consistent with the dependencies.
-pub fn is_valid_compute_order(g: &Cdag, order: &[VertexId]) -> bool {
+pub fn is_valid_compute_order<G: PebbleGraph>(g: &G, order: &[VertexId]) -> bool {
     let n = g.n_vertices();
-    let noninput = g.vertices().filter(|&v| !g.is_input(v)).count();
+    let noninput = (0..n as u32).filter(|&i| !g.is_input(VertexId(i))).count();
     if order.len() != noninput {
         return false;
     }

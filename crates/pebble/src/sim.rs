@@ -5,9 +5,10 @@
 //! cached?", so the old `HashSet` bought nothing but hashing overhead on
 //! the validation path of every recorded schedule.
 
+use crate::graph::PebbleGraph;
 use crate::schedule::{Action, Schedule};
 use crate::stats::IoStats;
-use mmio_cdag::{Cdag, VertexId};
+use mmio_cdag::VertexId;
 
 /// A violation of the machine-model rules.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,7 +46,7 @@ pub enum SimError {
 /// order) before capacity — a compute into a full cache with a missing
 /// operand is a [`SimError::MissingOperand`], never a
 /// [`SimError::CacheFull`].
-pub fn simulate(g: &Cdag, schedule: &Schedule, m: usize) -> Result<IoStats, SimError> {
+pub fn simulate<G: PebbleGraph>(g: &G, schedule: &Schedule, m: usize) -> Result<IoStats, SimError> {
     let mut in_cache = vec![false; g.n_vertices()];
     let mut occupancy: usize = 0;
     let mut computed = vec![false; g.n_vertices()];
@@ -109,13 +110,18 @@ pub fn simulate(g: &Cdag, schedule: &Schedule, m: usize) -> Result<IoStats, SimE
         }
     }
 
-    for v in g.vertices() {
+    // Dense-id loops keep the pinned error precedence: every vertex's
+    // NotComputed check runs before any OutputNotStored check, in id order
+    // (identical to the old `vertices()` / `outputs()` iterator pair).
+    for i in 0..g.n_vertices() as u32 {
+        let v = VertexId(i);
         if !g.is_input(v) && !computed[v.idx()] {
             return Err(SimError::NotComputed(v));
         }
     }
-    for v in g.outputs() {
-        if !stored[v.idx()] {
+    for i in 0..g.n_vertices() as u32 {
+        let v = VertexId(i);
+        if g.is_output(v) && !stored[v.idx()] {
             return Err(SimError::OutputNotStored(v));
         }
     }
@@ -126,7 +132,7 @@ pub fn simulate(g: &Cdag, schedule: &Schedule, m: usize) -> Result<IoStats, SimE
 mod tests {
     use super::*;
     use mmio_cdag::build::build_cdag;
-    use mmio_cdag::BaseGraph;
+    use mmio_cdag::{BaseGraph, Cdag};
     use mmio_matrix::{Matrix, Rational};
 
     /// The trivial 1×1 CDAG at r=1: inputs a, b; combos; product; output.
