@@ -8,7 +8,9 @@
 //! - `MMIO-Rxxx` — routing certificates ([`crate::routing`]);
 //! - `MMIO-Cxxx` — concurrency soundness (sync traces and the `mmio-check`
 //!   model checker);
-//! - `MMIO-Dxxx` — distributed-run audits ([`crate::distsim`]).
+//! - `MMIO-Dxxx` — distributed-run audits ([`crate::distsim`]);
+//! - `MMIO-Fxxx` — serve-tier fault handling (`mmio-serve`: snapshot
+//!   recovery, load shedding, deadlines, panic isolation).
 
 /// Cycle detected: the vertex ordering admits no topological order.
 pub const CDAG_CYCLE: &str = "MMIO-A001";
@@ -86,6 +88,41 @@ pub const DIST_OVER_CAPACITY: &str = "MMIO-D004";
 /// A receive event has no outstanding matching send.
 pub const DIST_UNMATCHED_RECV: &str = "MMIO-D005";
 
+/// A request line failed to parse or validate (not JSON, unknown op,
+/// wrong field types, out-of-range parameters, unknown algorithm).
+pub const SERVE_BAD_REQUEST: &str = "MMIO-F000";
+/// Cache snapshot unreadable or unparseable: not JSON, truncated, or
+/// missing required fields. The entry is quarantined and recomputed.
+pub const SERVE_SNAPSHOT_UNPARSEABLE: &str = "MMIO-F001";
+/// Cache snapshot checksum mismatch (bit flip or torn final write). The
+/// entry is quarantined and recomputed.
+pub const SERVE_SNAPSHOT_CHECKSUM: &str = "MMIO-F002";
+/// Cache snapshot carries a stale or unknown format version. The entry is
+/// quarantined and recomputed.
+pub const SERVE_SNAPSHOT_VERSION: &str = "MMIO-F003";
+/// Cache snapshot's content-hash key disagrees with its filename or its
+/// recomputed content hash (cross-linked or mislabeled entry). Quarantined.
+pub const SERVE_SNAPSHOT_KEY: &str = "MMIO-F004";
+/// Transient cache I/O failure: retries with backoff were exhausted and
+/// the request degraded to memo-less recompute.
+pub const SERVE_CACHE_DEGRADED: &str = "MMIO-F005";
+/// A job panicked; the panic was isolated to the job and surfaced as a
+/// typed response instead of taking the server down.
+pub const SERVE_JOB_PANIC: &str = "MMIO-F006";
+/// A request's deadline expired before its job produced a result.
+pub const SERVE_DEADLINE: &str = "MMIO-F007";
+/// The bounded job queue was full; the request was shed with a typed
+/// `overloaded` response instead of queuing unboundedly.
+pub const SERVE_OVERLOADED: &str = "MMIO-F008";
+/// A worker exceeded the wedge threshold and was replaced by a fresh one.
+pub const SERVE_WORKER_REPLACED: &str = "MMIO-F009";
+/// A cached payload passed its checksum but failed semantic
+/// re-verification (`mmio-cert`); quarantined and recomputed.
+pub const SERVE_PAYLOAD_REVERIFY: &str = "MMIO-F010";
+/// An orphaned temp file from an interrupted persist was swept during the
+/// recovery scan.
+pub const SERVE_ORPHAN_TEMP: &str = "MMIO-F011";
+
 /// `(code, one-line description)` for every registered code, in order —
 /// the source of the documentation table in `DESIGN.md`.
 pub const TABLE: &[(&str, &str)] = &[
@@ -140,6 +177,30 @@ pub const TABLE: &[(&str, &str)] = &[
     ),
     (DIST_OVER_CAPACITY, "local cache occupancy exceeds M"),
     (DIST_UNMATCHED_RECV, "receive without a matching send"),
+    (SERVE_BAD_REQUEST, "malformed or invalid request line"),
+    (
+        SERVE_SNAPSHOT_UNPARSEABLE,
+        "cache snapshot unreadable or truncated",
+    ),
+    (SERVE_SNAPSHOT_CHECKSUM, "cache snapshot checksum mismatch"),
+    (
+        SERVE_SNAPSHOT_VERSION,
+        "cache snapshot format version stale or unknown",
+    ),
+    (SERVE_SNAPSHOT_KEY, "cache snapshot key mismatch"),
+    (
+        SERVE_CACHE_DEGRADED,
+        "cache I/O retries exhausted; degraded to recompute",
+    ),
+    (SERVE_JOB_PANIC, "job panicked; isolated as typed response"),
+    (SERVE_DEADLINE, "request deadline exceeded"),
+    (SERVE_OVERLOADED, "job queue full; request shed"),
+    (SERVE_WORKER_REPLACED, "wedged worker replaced"),
+    (
+        SERVE_PAYLOAD_REVERIFY,
+        "cached payload failed re-verification",
+    ),
+    (SERVE_ORPHAN_TEMP, "orphaned temp file swept on recovery"),
 ];
 
 #[cfg(test)]

@@ -1,0 +1,269 @@
+//! Concurrency soundness of the serve tier's queue/worker protocol.
+//!
+//! `mmio-check`'s charter is proving the workspace's concurrent protocols,
+//! and `mmio serve` rests on one more of them: the bounded
+//! [`JobQueue`] + panic-isolated [`WorkerSet`] with wedge replacement
+//! (`mmio_serve::queue`). These tests drive that protocol under real
+//! threads and assert the conservation invariants the serving contract
+//! needs:
+//!
+//! 1. every push is accounted for — accepted, or handed back intact as a
+//!    typed [`PushError`];
+//! 2. every accepted job executes **exactly once** (no loss, no
+//!    double-serve), including across a wedge replacement where two
+//!    workers briefly overlap;
+//! 3. `close()` drains the backlog rather than dropping it, then every
+//!    worker exits (no deadlock — each test runs under a watchdog).
+
+use mmio_serve::queue::{JobQueue, JobToken, PushError, WorkerSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// One unit of work: an identity to count and an optional wedge.
+#[derive(Debug)]
+struct Job {
+    id: usize,
+    wedge: Duration,
+    token: Arc<JobToken>,
+}
+
+impl Job {
+    fn quick(id: usize) -> Job {
+        Job {
+            id,
+            wedge: Duration::ZERO,
+            token: Arc::new(JobToken::default()),
+        }
+    }
+}
+
+/// Runs `f` on a watchdog thread: a deadlock anywhere in the protocol
+/// fails the test in bounded time instead of hanging the suite.
+fn with_watchdog(name: &str, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(120))
+        .unwrap_or_else(|_| panic!("{name}: queue/worker protocol deadlocked (watchdog fired)"));
+}
+
+/// Polls `cond` until it holds or `deadline` elapses; returns the final
+/// truth value so callers can assert with their own message.
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = Instant::now();
+    while t0.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    cond()
+}
+
+/// Eight producers burst-push against a small bounded queue while four
+/// workers drain it. Every push must come back accepted or typed-shed
+/// with the job intact, and exactly the accepted set executes — once.
+#[test]
+fn accepted_jobs_execute_exactly_once_under_contention() {
+    with_watchdog("exactly_once", || {
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: usize = 250;
+        const TOTAL: usize = PRODUCERS * PER_PRODUCER;
+
+        let queue = Arc::new(JobQueue::new(16));
+        let executed: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..TOTAL).map(|_| AtomicUsize::new(0)).collect());
+        let exec = Arc::clone(&executed);
+        let set = WorkerSet::start(Arc::clone(&queue), 4, 8, move |job: Job| {
+            job.token.started.store(true, Ordering::Relaxed);
+            exec[job.id].fetch_add(1, Ordering::Relaxed);
+            job.token.done.store(true, Ordering::Relaxed);
+        });
+
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let queue = Arc::clone(&queue);
+                std::thread::spawn(move || {
+                    let mut accepted = Vec::new();
+                    let mut shed = 0usize;
+                    for i in 0..PER_PRODUCER {
+                        let id = p * PER_PRODUCER + i;
+                        match queue.try_push(Job::quick(id)) {
+                            Ok(()) => accepted.push(id),
+                            Err(PushError::Full(job)) => {
+                                assert_eq!(job.id, id, "shed job must be handed back intact");
+                                shed += 1;
+                                std::thread::yield_now();
+                            }
+                            Err(PushError::Closed(_)) => {
+                                unreachable!("queue is never closed while producers run")
+                            }
+                        }
+                    }
+                    (accepted, shed)
+                })
+            })
+            .collect();
+
+        let mut was_accepted = vec![false; TOTAL];
+        let (mut accepted_n, mut shed_n) = (0usize, 0usize);
+        for h in handles {
+            let (accepted, shed) = h.join().expect("producer thread");
+            shed_n += shed;
+            for id in accepted {
+                was_accepted[id] = true;
+                accepted_n += 1;
+            }
+        }
+        assert_eq!(
+            accepted_n + shed_n,
+            TOTAL,
+            "every push accounted for: accepted or typed shed"
+        );
+        assert!(accepted_n > 0, "contention must not starve admission");
+
+        queue.close();
+        assert!(
+            wait_until(Duration::from_secs(30), || set.live() == 0),
+            "workers must drain and exit after close()"
+        );
+        for (id, accepted) in was_accepted.iter().enumerate() {
+            let runs = executed[id].load(Ordering::Relaxed);
+            if *accepted {
+                assert_eq!(runs, 1, "accepted job {id} must execute exactly once");
+            } else {
+                assert_eq!(runs, 0, "shed job {id} must never execute");
+            }
+        }
+    });
+}
+
+/// `close()` with a live backlog: the pending jobs still run (drain
+/// semantics — a shutdown never silently drops admitted work), late
+/// pushes are rejected typed with the job handed back, and the workers
+/// then exit.
+#[test]
+fn close_mid_stream_drains_backlog_and_rejects_late_pushes() {
+    with_watchdog("drain_on_close", || {
+        let queue = Arc::new(JobQueue::new(64));
+        let executed = Arc::new(AtomicUsize::new(0));
+        let exec = Arc::clone(&executed);
+        // Slow workers so close() lands while jobs are still pending.
+        let set = WorkerSet::start(Arc::clone(&queue), 2, 4, move |job: Job| {
+            std::thread::sleep(Duration::from_micros(300));
+            exec.fetch_add(1, Ordering::Relaxed);
+            job.token.done.store(true, Ordering::Relaxed);
+        });
+
+        let mut accepted = 0usize;
+        for id in 0..48 {
+            if queue.try_push(Job::quick(id)).is_ok() {
+                accepted += 1;
+            }
+        }
+        let pending_at_close = queue.len();
+        queue.close();
+        assert!(
+            pending_at_close > 0,
+            "close() must race an actual backlog for this test to mean anything"
+        );
+
+        match queue.try_push(Job::quick(usize::MAX)) {
+            Err(PushError::Closed(job)) => {
+                assert_eq!(job.id, usize::MAX, "rejected job handed back intact")
+            }
+            other => panic!("push after close must be typed Closed, got {other:?}"),
+        }
+
+        assert!(
+            wait_until(Duration::from_secs(30), || set.live() == 0),
+            "workers must exit once the backlog drains"
+        );
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            accepted,
+            "close() drains: every accepted job ran, none dropped"
+        );
+    });
+}
+
+/// The wedge state machine end to end: a worker wedges on a job, the
+/// submitter spawns a replacement which serves the rest of the queue,
+/// and when the wedged worker finally finishes, its job has still run
+/// exactly once and the set retires back to target strength — no lost
+/// job, no double-serve, no worker leak.
+#[test]
+fn wedge_replacement_preserves_exactly_once_and_retires_surplus() {
+    with_watchdog("wedge_replacement", || {
+        let queue = Arc::new(JobQueue::new(8));
+        let executed: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..2).map(|_| AtomicUsize::new(0)).collect());
+        let exec = Arc::clone(&executed);
+        let set = WorkerSet::start(Arc::clone(&queue), 1, 3, move |job: Job| {
+            job.token.started.store(true, Ordering::Relaxed);
+            std::thread::sleep(job.wedge);
+            exec[job.id].fetch_add(1, Ordering::Relaxed);
+            job.token.done.store(true, Ordering::Relaxed);
+        });
+
+        let wedged = Arc::new(JobToken::default());
+        queue
+            .try_push(Job {
+                id: 0,
+                wedge: Duration::from_millis(400),
+                token: Arc::clone(&wedged),
+            })
+            .expect("push wedging job");
+        let behind = Arc::new(JobToken::default());
+        queue
+            .try_push(Job {
+                id: 1,
+                wedge: Duration::ZERO,
+                token: Arc::clone(&behind),
+            })
+            .expect("push queued job");
+
+        // Submitter-side wedge detection: the job started but won't finish.
+        assert!(
+            wait_until(Duration::from_secs(10), || wedged
+                .started
+                .load(Ordering::Relaxed)),
+            "the single worker must pick the wedging job up"
+        );
+        assert!(set.replace_wedged(), "spawn budget 3 allows a replacement");
+        assert_eq!(set.replacements.load(Ordering::Relaxed), 1);
+
+        // The replacement serves the queued job past the wedge.
+        assert!(
+            wait_until(Duration::from_secs(10), || behind
+                .done
+                .load(Ordering::Relaxed)),
+            "replacement worker must drain the queue while the wedge persists"
+        );
+
+        // The wedged job still completes — exactly once — and one of the
+        // two overlapping workers retires, settling back to target 1.
+        assert!(
+            wait_until(Duration::from_secs(10), || wedged
+                .done
+                .load(Ordering::Relaxed)),
+            "the wedged job must eventually finish"
+        );
+        assert!(
+            wait_until(Duration::from_secs(10), || set.live() == 1),
+            "the surplus worker must retire back to target strength"
+        );
+        assert_eq!(executed[0].load(Ordering::Relaxed), 1);
+        assert_eq!(executed[1].load(Ordering::Relaxed), 1);
+        assert_eq!(set.total_spawned(), 2, "one initial + one replacement");
+
+        queue.close();
+        assert!(
+            wait_until(Duration::from_secs(10), || set.live() == 0),
+            "remaining worker must exit after close()"
+        );
+    });
+}

@@ -39,18 +39,18 @@ use mmio_algos::registry::all_base_graphs;
 use mmio_cdag::build::build_cdag;
 use mmio_cdag::connectivity::classify;
 use mmio_cdag::serialize;
-use mmio_cdag::view::count_vertices;
 use mmio_cdag::{BaseGraph, IndexView};
-use mmio_core::theorem1::{certify_pooled, certify_pooled_view, CertifyParams, LowerBound};
+use mmio_core::theorem1::LowerBound;
 use mmio_core::theorem2::InOutRouting;
 use mmio_core::transport::{verify_transported, verify_transported_view, RoutingClass};
 use mmio_parallel::Pool;
 use mmio_pebble::orders::recursive_order;
 use mmio_pebble::policy::Belady;
 use mmio_pebble::{AutoScheduler, ViewGraph};
+use mmio_serve::ops::{self, use_implicit, ViewMode};
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
+fn print_usage() {
     eprintln!(
         "usage: mmio [--threads N] [--view explicit|implicit|auto] <command> [args]\n\
          commands:\n  \
@@ -65,9 +65,82 @@ fn usage() -> ExitCode {
          analyze  <algo|all> [r] [--json]\n  \
          check    [--json]\n  \
          cert     emit <algo|all> [r] [--out DIR] [--json]\n  \
-         cert     verify <files|DIR...> [--json]"
+         cert     verify <files|DIR...> [--json]\n  \
+         serve    --socket PATH [--cache DIR] [--workers N] \
+         [--queue-cap N] [--deadline-ms N]"
     );
-    ExitCode::FAILURE
+}
+
+/// A typed CLI failure carrying its stable process exit code. The codes
+/// are part of the interface — scripts and CI match on them:
+///
+/// | exit | meaning                                                |
+/// |------|--------------------------------------------------------|
+/// | 1    | verification/analysis rejected the input (work ran)    |
+/// | 2    | usage error: bad flags, missing or invalid arguments   |
+/// | 3    | I/O error: unreadable input, unwritable output         |
+/// | 4    | malformed input: unknown algorithm, bad JSON           |
+#[derive(Debug, PartialEq, Eq)]
+enum CliError {
+    /// The command line itself is wrong (exit 2; usage is printed).
+    Usage(String),
+    /// A file or directory could not be read, written, or created (exit 3).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        detail: String,
+    },
+    /// The input was read but is not valid (exit 4).
+    BadInput(String),
+    /// The tool ran and rejected its input on the merits (exit 1).
+    Verification(String),
+}
+
+impl CliError {
+    /// The stable process exit code for this failure class.
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Verification(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Io { .. } => 3,
+            CliError::BadInput(_) => 4,
+        }
+    }
+
+    /// An I/O failure at `path`.
+    fn io(path: impl std::fmt::Display, detail: impl std::fmt::Display) -> CliError {
+        CliError::Io {
+            path: path.to_string(),
+            detail: detail.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::BadInput(m) | CliError::Verification(m) => {
+                f.write_str(m)
+            }
+            CliError::Io { path, detail } => write!(f, "{path}: {detail}"),
+        }
+    }
+}
+
+// Bare string errors throughout `run` are argument problems (missing or
+// invalid values) — usage errors by default; the I/O and input paths
+// construct their variants explicitly.
+impl From<&str> for CliError {
+    fn from(m: &str) -> CliError {
+        CliError::Usage(m.to_string())
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> CliError {
+        CliError::Usage(m)
+    }
 }
 
 /// Strips a `--threads N` flag (anywhere in the argument list) and returns
@@ -86,23 +159,6 @@ fn extract_threads(args: &mut Vec<String>) -> Result<Option<usize>, String> {
     Ok(Some(n))
 }
 
-/// Which `G_r` representation the engines run on.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum ViewMode {
-    /// Materialize the full graph (`build_cdag`).
-    Explicit,
-    /// Run on the closed-form [`IndexView`] — memory independent of `b^r`.
-    Implicit,
-    /// Explicit below [`AUTO_VERTEX_BUDGET`] vertices, implicit above.
-    Auto,
-}
-
-/// The `auto` policy's switch-over point: `G_r` with more vertices than
-/// this runs implicit. 2²² (≈4.2M) keeps every default-depth workload on
-/// the explicit path (byte-identical output to previous releases) while
-/// routing `r ≥ 8` Strassen-scale graphs to the implicit one.
-const AUTO_VERTEX_BUDGET: u64 = 1 << 22;
-
 /// Strips a `--view MODE` flag (anywhere in the argument list); defaults
 /// to [`ViewMode::Auto`].
 fn extract_view(args: &mut Vec<String>) -> Result<ViewMode, String> {
@@ -120,118 +176,23 @@ fn extract_view(args: &mut Vec<String>) -> Result<ViewMode, String> {
     Ok(mode)
 }
 
-/// Resolves the view policy for one `(base, r)` workload. `auto` compares
-/// the closed-form vertex count against [`AUTO_VERTEX_BUDGET`] (overflow
-/// counts as "too big").
-fn use_implicit(mode: ViewMode, base: &BaseGraph, r: u32) -> bool {
-    // The degenerate G_0 (n = 1) has no closed-form view (`IndexView`
-    // requires r ≥ 1); its explicit graph is a handful of vertices.
-    if r == 0 {
-        return false;
-    }
-    match mode {
-        ViewMode::Explicit => false,
-        ViewMode::Implicit => true,
-        ViewMode::Auto => match count_vertices(base.a() as u64, base.b() as u64, r) {
-            Some(n) => n > AUTO_VERTEX_BUDGET,
-            None => true,
-        },
-    }
-}
-
-fn resolve(name: &str) -> Result<BaseGraph, String> {
-    if let Some(base) = all_base_graphs().into_iter().find(|g| g.name() == name) {
+fn resolve(name: &str) -> Result<BaseGraph, CliError> {
+    if let Some(base) = ops::resolve_registry(name) {
         return Ok(base);
     }
     if name.ends_with(".json") {
-        let json = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
-        return serialize::from_json(&json).map_err(|e| e.to_string());
+        let json = std::fs::read_to_string(name).map_err(|e| CliError::io(name, e))?;
+        return serialize::from_json(&json).map_err(|e| CliError::BadInput(format!("{name}: {e}")));
     }
-    Err(format!(
+    Err(CliError::BadInput(format!(
         "unknown algorithm '{name}' (try `mmio list` or pass a .json file)"
-    ))
+    )))
 }
 
-fn parse<T: std::str::FromStr>(arg: Option<&String>, what: &str) -> Result<T, String> {
-    arg.ok_or_else(|| format!("missing {what}"))?
+fn parse<T: std::str::FromStr>(arg: Option<&String>, what: &str) -> Result<T, CliError> {
+    arg.ok_or_else(|| CliError::Usage(format!("missing {what}")))?
         .parse()
-        .map_err(|_| format!("invalid {what}"))
-}
-
-/// One target of `mmio analyze`: an algorithm analyzed at recursion depth
-/// `r`, with the schedule and routing audits run at (possibly capped)
-/// depths chosen to keep path enumeration tractable.
-fn analyze_target(base: &BaseGraph, r: u32) -> (mmio_analyze::Report, serde_json::Value) {
-    let mut report = mmio_analyze::analyze_base_at(base, r);
-
-    // Schedule legality: audit an auto-generated recursive schedule.
-    let sched_r = if base.b() > 30 { r.min(2) } else { r };
-    let g = build_cdag(base, sched_r);
-    let m = (3 * base.a()).max(8);
-    let order = recursive_order(&g);
-    let (_, sched) = AutoScheduler::new(&g, m).run_recorded(&order, &mut Belady);
-    let audit = mmio_analyze::audit_schedule(&g, &sched, m, &mut report);
-
-    // Routing certificate: enumerate the Theorem 2 paths explicitly and
-    // re-verify them. Path count is 2a^{2k}, so cap k for wide encoders.
-    let routing_k = r.min(if base.a() >= 16 { 1 } else { 2 });
-    let gk = build_cdag(base, routing_k);
-    let routing_audit = match InOutRouting::new(&gk) {
-        None => {
-            report.push(
-                "MMIO-R003",
-                mmio_analyze::Severity::Error,
-                mmio_analyze::Span::Global,
-                "no n₀-capacity Hall matching: the Routing Theorem's hypotheses fail",
-            );
-            None
-        }
-        Some(routing) => {
-            // Audit straight from the flat path arena (same enumeration
-            // order as the old explicit Vec<Vec<_>> certificate, without
-            // one heap block per path).
-            let arena = routing.collect_paths();
-            Some((
-                mmio_analyze::audit_routing_paths(
-                    &gk,
-                    routing.theorem2_bound(),
-                    Some(routing.n_paths()),
-                    arena.iter(),
-                    &mut report,
-                ),
-                routing.theorem2_bound(),
-            ))
-        }
-    };
-
-    let mut summary = vec![
-        (
-            "algorithm".to_string(),
-            serde::Value::Str(base.name().to_string()),
-        ),
-        ("r".to_string(), serde::Value::Int(i64::from(r))),
-        (
-            "schedule_io".to_string(),
-            serde::Value::Int(audit.io() as i64),
-        ),
-        (
-            "schedule_peak_occupancy".to_string(),
-            serde::Value::Int(audit.peak_occupancy as i64),
-        ),
-    ];
-    if let Some((ra, bound)) = routing_audit {
-        summary.push((
-            "routing_paths".to_string(),
-            serde::Value::Int(ra.paths as i64),
-        ));
-        summary.push((
-            "routing_max_hits".to_string(),
-            serde::Value::Int(ra.max_vertex_hits.max(ra.max_meta_hits) as i64),
-        ));
-        summary.push(("routing_bound".to_string(), serde::Value::Int(bound as i64)));
-    }
-    summary.push(("report".to_string(), serde::Serialize::to_value(&report)));
-    (report, serde::Value::Object(summary))
+        .map_err(|_| CliError::Usage(format!("invalid {what}")))
 }
 
 /// Emits the certificate suite for one algorithm at depth `r`: a routing
@@ -289,13 +250,13 @@ fn emit_certs_for(
 
 /// Expands `mmio cert verify` operands: directories become their sorted
 /// `*.json` entries, files pass through.
-fn expand_cert_paths(operands: &[&String]) -> Result<Vec<std::path::PathBuf>, String> {
+fn expand_cert_paths(operands: &[&String]) -> Result<Vec<std::path::PathBuf>, CliError> {
     let mut files = Vec::new();
     for op in operands {
         let path = std::path::Path::new(op.as_str());
         if path.is_dir() {
             let mut entries: Vec<_> = std::fs::read_dir(path)
-                .map_err(|e| format!("{op}: {e}"))?
+                .map_err(|e| CliError::io(op, e))?
                 .filter_map(|e| e.ok().map(|e| e.path()))
                 .filter(|p| p.extension().is_some_and(|x| x == "json"))
                 .collect();
@@ -308,7 +269,7 @@ fn expand_cert_paths(operands: &[&String]) -> Result<Vec<std::path::PathBuf>, St
     Ok(files)
 }
 
-fn run() -> Result<ExitCode, String> {
+fn run() -> Result<ExitCode, CliError> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let explicit_threads = extract_threads(&mut args)?;
     let view = extract_view(&mut args)?;
@@ -355,12 +316,12 @@ fn run() -> Result<ExitCode, String> {
                     base.omega0()
                 ),
                 Err(errs) => {
-                    return Err(format!(
+                    return Err(CliError::Verification(format!(
                         "{}: {} tensor violations (first: {})",
                         base.name(),
                         errs.len(),
                         errs[0]
-                    ))
+                    )))
                 }
             }
         }
@@ -399,30 +360,19 @@ fn run() -> Result<ExitCode, String> {
             let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
             let r: u32 = parse(args.get(2), "r")?;
             let m: u64 = parse(args.get(3), "M")?;
-            let cert = if use_implicit(view, &base, r) {
-                let v = IndexView::from_base(&base, r);
-                let order = recursive_order(&v);
-                certify_pooled_view(&base, &v, m, &order, CertifyParams::SMALL, &pool)
-            } else {
-                let g = build_cdag(&base, r);
-                let order = recursive_order(&g);
-                certify_pooled(&g, m, &order, CertifyParams::SMALL, &pool)
-            };
-            println!(
-                "n = {}, M = {m}: {} complete segments, certified I/O ≥ {}",
-                cert.n, cert.analysis.complete_segments, cert.analysis.certified_io
-            );
-            println!(
-                "(k = {}, feasible = {}, disjoint subcomputations = {} ≥ target {})",
-                cert.k, cert.k_feasible, cert.disjoint_subcomputations, cert.lemma1_target
-            );
+            // Rendered by the same function the serve tier uses, so a serve
+            // `certify` response is byte-identical to this output.
+            print!("{}", ops::certify_text(&base, r, m, view, &pool));
         }
         "routing" => {
             let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
             let k: u32 = parse(args.get(2), "k")?;
             let g = build_cdag(&base, k);
-            let routing = InOutRouting::new(&g)
-                .ok_or("no n₀-capacity Hall matching (paper hypotheses fail)")?;
+            let routing = InOutRouting::new(&g).ok_or_else(|| {
+                CliError::Verification(
+                    "no n₀-capacity Hall matching (paper hypotheses fail)".to_string(),
+                )
+            })?;
             let stats = routing.verify_with(&pool);
             println!(
                 "6a^k = {}: {} paths, max vertex hits {}, max meta hits {} → {}",
@@ -442,7 +392,7 @@ fn run() -> Result<ExitCode, String> {
             if let Some(rarg) = args.get(3) {
                 let r: u32 = rarg.parse().map_err(|_| "invalid r")?;
                 if r < k {
-                    return Err(format!("r = {r} must be ≥ k = {k}"));
+                    return Err(CliError::Usage(format!("r = {r} must be ≥ k = {k}")));
                 }
                 let class = RoutingClass::build(&base, k, &pool)
                     .expect("Hall matching exists (verified above)");
@@ -509,7 +459,7 @@ fn run() -> Result<ExitCode, String> {
             }
             let results = pool.map(work.len(), |i| {
                 let (bi, r) = work[i];
-                analyze_target(&bases[bi], r)
+                ops::analyze_target(&bases[bi], r)
             });
             let mut summaries = Vec::new();
             let mut total_errors = 0usize;
@@ -626,14 +576,14 @@ fn run() -> Result<ExitCode, String> {
                         vec![resolve(target)?]
                     };
                     std::fs::create_dir_all(&out_dir)
-                        .map_err(|e| format!("{}: {e}", out_dir.display()))?;
+                        .map_err(|e| CliError::io(out_dir.display(), e))?;
                     let mut written = Vec::new();
                     for base in &bases {
                         let implicit = use_implicit(view, base, r);
                         for (file, cert) in emit_certs_for(base, r, &pool, implicit) {
                             let path = out_dir.join(file);
                             std::fs::write(&path, cert.to_json())
-                                .map_err(|e| format!("{}: {e}", path.display()))?;
+                                .map_err(|e| CliError::io(path.display(), e))?;
                             written.push(path);
                         }
                     }
@@ -660,13 +610,15 @@ fn run() -> Result<ExitCode, String> {
                         args[2..].iter().filter(|a| *a != "--json").collect();
                     let files = expand_cert_paths(&operands)?;
                     if files.is_empty() {
-                        return Err("no certificate files to verify".into());
+                        return Err(CliError::BadInput(
+                            "no certificate files to verify".to_string(),
+                        ));
                     }
                     let mut rejected = 0usize;
                     let mut entries = Vec::new();
                     for path in &files {
                         let text = std::fs::read_to_string(path)
-                            .map_err(|e| format!("{}: {e}", path.display()))?;
+                            .map_err(|e| CliError::io(path.display(), e))?;
                         let verdict = mmio_cert::verify_json(&text);
                         if !verdict.accepted {
                             rejected += 1;
@@ -710,10 +662,61 @@ fn run() -> Result<ExitCode, String> {
                         return Ok(ExitCode::FAILURE);
                     }
                 }
-                other => return Err(format!("unknown cert subcommand '{other}'")),
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "unknown cert subcommand '{other}'"
+                    )))
+                }
             }
         }
-        _ => return Err(format!("unknown command '{cmd}'")),
+        "serve" => {
+            let flag_value = |name: &str| -> Option<&String> {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+            };
+            let parse_flag = |name: &str, default: u64| -> Result<u64, CliError> {
+                match flag_value(name) {
+                    None => Ok(default),
+                    Some(v) => v
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("invalid {name} value '{v}'"))),
+                }
+            };
+            let socket = flag_value("--socket")
+                .cloned()
+                .ok_or("missing --socket PATH")?;
+            let workers = parse_flag("--workers", 2)? as usize;
+            let cfg = mmio_serve::EngineConfig {
+                workers,
+                queue_cap: parse_flag("--queue-cap", 64)? as usize,
+                max_spawns: workers.saturating_mul(4),
+                default_deadline: std::time::Duration::from_millis(parse_flag(
+                    "--deadline-ms",
+                    30_000,
+                )?),
+                cache_dir: flag_value("--cache").map(std::path::PathBuf::from),
+                pool_threads: pool.threads(),
+            };
+            let hook: std::sync::Arc<dyn mmio_serve::FaultHook> =
+                std::sync::Arc::new(mmio_serve::NoFaults);
+            let (engine, recovery) =
+                mmio_serve::Engine::start(cfg, hook).map_err(|e| CliError::io("serve cache", e))?;
+            eprintln!(
+                "mmio serve: {} snapshot(s) valid, {} quarantined, {} orphan(s) swept",
+                recovery.valid,
+                recovery.quarantined.len(),
+                recovery.orphans_swept
+            );
+            for d in &recovery.quarantined {
+                eprintln!("mmio serve: quarantined {d}");
+            }
+            let server = mmio_serve::Server::bind(&socket, std::sync::Arc::new(engine))
+                .map_err(|e| CliError::io(&socket, e))?;
+            eprintln!("mmio serve: listening on {socket}");
+            server.run().map_err(|e| CliError::io(&socket, e))?;
+        }
+        _ => return Err(CliError::Usage(format!("unknown command '{cmd}'"))),
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -723,7 +726,71 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
-            usage()
+            if matches!(e, CliError::Usage(_)) {
+                print_usage();
+            }
+            ExitCode::from(e.exit_code())
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_stable_per_failure_class() {
+        assert_eq!(CliError::Verification("v".into()).exit_code(), 1);
+        assert_eq!(CliError::Usage("u".into()).exit_code(), 2);
+        assert_eq!(CliError::io("p", "d").exit_code(), 3);
+        assert_eq!(CliError::BadInput("b".into()).exit_code(), 4);
+    }
+
+    #[test]
+    fn bare_string_errors_default_to_usage() {
+        assert_eq!(CliError::from("missing r").exit_code(), 2);
+        assert_eq!(CliError::from(String::from("invalid M")).exit_code(), 2);
+    }
+
+    #[test]
+    fn resolve_classifies_each_failure() {
+        // Registry hit.
+        assert!(resolve("strassen").is_ok());
+        // Unknown name: bad input, not I/O.
+        assert_eq!(resolve("nonesuch").unwrap_err().exit_code(), 4);
+        // Missing .json path: I/O.
+        assert_eq!(
+            resolve("/nonexistent/algo.json").unwrap_err().exit_code(),
+            3
+        );
+        // Present but malformed .json: bad input.
+        let p = std::env::temp_dir().join(format!("mmio_cli_badalgo_{}.json", std::process::id()));
+        std::fs::write(&p, "{ not json").unwrap();
+        let err = resolve(p.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn expand_cert_paths_unreadable_dir_is_io_error() {
+        let missing = "/nonexistent-cert-dir".to_string();
+        // A path that does not exist is not a dir, so it passes through as
+        // a file operand (read fails later, also as an I/O error)…
+        let ok = expand_cert_paths(&[&missing]).unwrap();
+        assert_eq!(ok.len(), 1);
+        // …whereas a dir that exists but cannot be enumerated would be the
+        // read_dir error path; simulate with a file posing as a dir.
+        let p = std::env::temp_dir().join(format!("mmio_cli_asdir_{}", std::process::id()));
+        std::fs::write(&p, "x").unwrap();
+        let as_file = p.display().to_string();
+        let through = expand_cert_paths(&[&as_file]).unwrap();
+        assert_eq!(through, vec![p.clone()]);
+        let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn io_errors_render_path_and_detail() {
+        let e = CliError::io("certs/out.json", "permission denied");
+        assert_eq!(e.to_string(), "certs/out.json: permission denied");
     }
 }

@@ -152,7 +152,16 @@ impl RoutingMemo {
     pub fn class(&self, base: &BaseGraph, k: u32, pool: &Pool) -> Option<Arc<RoutingClass>> {
         let key = (base.name().to_string(), k);
         let ekey = events::memo_key(base.name(), k);
-        let mut classes = self.classes.lock().expect("memo poisoned");
+        // A panic inside `RoutingClass::build` (isolated by a caller's
+        // `catch_unwind`, as the serve tier does per job) poisons this
+        // mutex without ever leaving the table inconsistent — the insert
+        // only happens after a successful build. Recover the guard so one
+        // panicking request cannot permanently poison the memo for every
+        // request after it.
+        let mut classes = self
+            .classes
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Emitted while the lock is held, so the trace's lock/fill/unlock
         // triples nest correctly (see mmio-parallel's events module docs).
         events::emit(SyncEvent::MemoLock);

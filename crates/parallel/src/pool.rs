@@ -27,7 +27,37 @@
 //! the available-parallelism fallback is used instead.
 
 use crate::events::{self, SyncEvent};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A task panicked inside [`Pool::try_map`] / [`Pool::try_map_chunks`]:
+/// the lowest panicking index (deterministic at any thread count and
+/// interleaving) plus its panic message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinError {
+    /// The lowest index (or chunk index) whose task panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// A fixed-width thread pool. `threads == 1` runs every task inline on the
 /// caller's thread with no synchronization at all, so the serial path is
@@ -230,6 +260,62 @@ impl Pool {
         }
         acc
     }
+
+    /// [`Pool::map`] with panic isolation: every task runs under
+    /// `catch_unwind`, so a panicking task becomes a typed [`JoinError`]
+    /// instead of tearing down the caller — and, critically, instead of
+    /// wedging the steal loop: the remaining indices still run to
+    /// completion (their results are discarded on error), every worker
+    /// joins, and the pool is immediately reusable.
+    ///
+    /// On multiple panics the error reports the **lowest** panicking
+    /// index, so the outcome is deterministic at any thread count — the
+    /// same contract [`Pool::map`] gives for values, extended to failures.
+    pub fn try_map<T, F>(&self, n: usize, f: F) -> Result<Vec<T>, JoinError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let raw = self.map(n, |i| {
+            catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_message)
+        });
+        let mut out = Vec::with_capacity(n);
+        for (index, r) in raw.into_iter().enumerate() {
+            match r {
+                Ok(v) => out.push(v),
+                Err(message) => return Err(JoinError { index, message }),
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`Pool::map_chunks`] with panic isolation: a panicking chunk
+    /// becomes a typed [`JoinError`] carrying the lowest panicking *chunk*
+    /// index; the merge fold never runs on a partial result set.
+    pub fn try_map_chunks<T, F, M>(
+        &self,
+        n: usize,
+        chunks_per_worker: usize,
+        f: F,
+        mut merge: M,
+    ) -> Result<T, JoinError>
+    where
+        T: Send + Default,
+        F: Fn(std::ops::Range<usize>) -> T + Sync,
+        M: FnMut(T, T) -> T,
+    {
+        if n == 0 {
+            return Ok(T::default());
+        }
+        let chunks = chunk_count(self.threads, chunks_per_worker, n);
+        let results = self.try_map(chunks, |c| f(chunk_bounds(n, chunks, c)))?;
+        let mut acc = T::default();
+        for (c, r) in results.into_iter().enumerate() {
+            events::emit(SyncEvent::ChunkMerge { chunk: c as u64 });
+            acc = merge(acc, r);
+        }
+        Ok(acc)
+    }
 }
 
 /// Claims and runs every remaining index of `range`.
@@ -413,6 +499,95 @@ mod tests {
                 all.extend(chunk_bounds(n, chunks, c));
             }
             assert_eq!(all, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_map_succeeds_like_map() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            assert_eq!(
+                pool.try_map(50, |i| i * 2),
+                Ok((0..50).map(|i| i * 2).collect::<Vec<_>>()),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_map_panic_is_typed_lowest_index_and_pool_survives() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let err = pool
+                .try_map(100, |i| {
+                    if i == 17 || i == 63 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .unwrap_err();
+            // Lowest panicking index wins, at every thread count.
+            assert_eq!(err.index, 17, "threads={threads}");
+            assert_eq!(err.message, "boom at 17");
+            assert!(err.to_string().contains("task 17 panicked"));
+            // The pool is immediately reusable after a failed run.
+            assert_eq!(pool.try_map(10, |i| i), Ok((0..10).collect()));
+        }
+    }
+
+    #[test]
+    fn try_map_chunks_panic_is_typed_and_merge_never_partial() {
+        for threads in [1, 2, 8] {
+            let pool = Pool::new(threads);
+            let mut merges = 0usize;
+            let err = pool
+                .try_map_chunks(
+                    100,
+                    2,
+                    |range| {
+                        if range.contains(&50) {
+                            panic!("chunk containing 50");
+                        }
+                        range.len()
+                    },
+                    |a: usize, b| {
+                        merges += 1;
+                        a + b
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err.message, "chunk containing 50", "threads={threads}");
+            assert_eq!(merges, 0, "merge must not fold a partial result set");
+            assert_eq!(
+                pool.try_map_chunks(100, 2, |r| r.len(), |a: usize, b| a + b),
+                Ok(100)
+            );
+        }
+    }
+
+    #[test]
+    fn map_panic_propagates_promptly_and_never_deadlocks() {
+        // The regression this pins: a panicking task inside plain `map`
+        // must tear down the call (the documented behavior), not wedge a
+        // worker or deadlock the join. Run it off-thread with a timeout so
+        // a future regression fails the test instead of hanging CI.
+        for threads in [1, 2, 8] {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let outcome = catch_unwind(|| {
+                    Pool::new(threads).map(64, |i| {
+                        if i == 20 {
+                            panic!("injected");
+                        }
+                        i
+                    })
+                });
+                let _ = tx.send(outcome.is_err());
+            });
+            let panicked = rx
+                .recv_timeout(std::time::Duration::from_secs(30))
+                .unwrap_or_else(|_| panic!("map deadlocked on panic (threads={threads})"));
+            assert!(panicked, "map must propagate the panic (threads={threads})");
         }
     }
 

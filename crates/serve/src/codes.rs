@@ -1,0 +1,26 @@
+//! Serve-tier diagnostic codes, re-exported from the workspace registry
+//! (`mmio-analyze::codes`, the single source of truth for every
+//! `MMIO-xxxx` code) plus the [`ALL`] slice the wire protocol validates
+//! against.
+
+pub use mmio_analyze::codes::{
+    SERVE_BAD_REQUEST, SERVE_CACHE_DEGRADED, SERVE_DEADLINE, SERVE_JOB_PANIC, SERVE_ORPHAN_TEMP,
+    SERVE_OVERLOADED, SERVE_PAYLOAD_REVERIFY, SERVE_SNAPSHOT_CHECKSUM, SERVE_SNAPSHOT_KEY,
+    SERVE_SNAPSHOT_UNPARSEABLE, SERVE_SNAPSHOT_VERSION, SERVE_WORKER_REPLACED,
+};
+
+/// Every code a serve response may carry.
+pub const ALL: &[&str] = &[
+    SERVE_BAD_REQUEST,
+    SERVE_SNAPSHOT_UNPARSEABLE,
+    SERVE_SNAPSHOT_CHECKSUM,
+    SERVE_SNAPSHOT_VERSION,
+    SERVE_SNAPSHOT_KEY,
+    SERVE_CACHE_DEGRADED,
+    SERVE_JOB_PANIC,
+    SERVE_DEADLINE,
+    SERVE_OVERLOADED,
+    SERVE_WORKER_REPLACED,
+    SERVE_PAYLOAD_REVERIFY,
+    SERVE_ORPHAN_TEMP,
+];
