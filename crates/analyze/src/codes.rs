@@ -10,7 +10,15 @@
 //!   model checker);
 //! - `MMIO-Dxxx` — distributed-run audits ([`crate::distsim`]);
 //! - `MMIO-Fxxx` — serve-tier fault handling (`mmio-serve`: snapshot
-//!   recovery, load shedding, deadlines, panic isolation).
+//!   recovery, load shedding, deadlines, panic isolation);
+//! - `MMIO-Lxxx` — workspace static-soundness lints (`mmio-audit`:
+//!   panic-reachability on the trust paths, diagnostic-registry lifecycle,
+//!   determinism hygiene).
+//!
+//! The `MMIO-Vxxx` family lives in `mmio-cert::codes` — the standalone
+//! verifier registers its own reject codes so its trust base stays free of
+//! the engine crates. [`all_tables`] merges every family into one
+//! machine-checkable registry.
 
 /// Cycle detected: the vertex ordering admits no topological order.
 pub const CDAG_CYCLE: &str = "MMIO-A001";
@@ -123,6 +131,50 @@ pub const SERVE_PAYLOAD_REVERIFY: &str = "MMIO-F010";
 /// recovery scan.
 pub const SERVE_ORPHAN_TEMP: &str = "MMIO-F011";
 
+/// A panic site (`unwrap`/`expect`) is reachable from a static trust root
+/// (`mmio_cert::verify_json` or the serve request path) with no
+/// `// audit: safe —` justification.
+pub const AUDIT_UNWRAP_REACHABLE: &str = "MMIO-L001";
+/// An explicit panic macro (`panic!`, `unreachable!`, `todo!`,
+/// `unimplemented!`, `assert!` family) is reachable from a trust root.
+pub const AUDIT_PANIC_REACHABLE: &str = "MMIO-L002";
+/// A slice/array indexing expression (aborts on out-of-bounds in every
+/// profile) is reachable from a trust root.
+pub const AUDIT_INDEX_REACHABLE: &str = "MMIO-L003";
+/// Unchecked integer arithmetic (overflow panics under
+/// `debug_assertions`) is reachable from a trust root. Advisory: release
+/// builds wrap instead of aborting.
+pub const AUDIT_ARITH_REACHABLE: &str = "MMIO-L004";
+/// An `// audit: safe —` justification comment with no dischargeable site
+/// on its line (orphaned — the code it justified is gone).
+pub const AUDIT_JUSTIFICATION_ORPHANED: &str = "MMIO-L005";
+/// An `// audit: safe —` justification on a site no audit pass flags
+/// (stale — the site is no longer reachable from any trust root).
+pub const AUDIT_JUSTIFICATION_STALE: &str = "MMIO-L006";
+/// A diagnostic code is emitted by workspace source but registered in no
+/// `codes::TABLE`.
+pub const AUDIT_CODE_UNREGISTERED: &str = "MMIO-L010";
+/// A registered diagnostic code is never emitted by any crate (dead).
+pub const AUDIT_CODE_DEAD: &str = "MMIO-L011";
+/// A registered diagnostic code is not documented in `DESIGN.md`.
+pub const AUDIT_CODE_UNDOCUMENTED: &str = "MMIO-L012";
+/// A registered diagnostic code is asserted by no test or golden-corpus
+/// file.
+pub const AUDIT_CODE_UNTESTED: &str = "MMIO-L013";
+/// A diagnostic code is emitted by two different crates.
+pub const AUDIT_CODE_DUPLICATE_EMITTER: &str = "MMIO-L014";
+/// `HashMap`/`HashSet` iteration feeds a rendered or serialized output
+/// path (iteration order is nondeterministic; output bytes must not be).
+pub const AUDIT_HASH_ITERATION: &str = "MMIO-L020";
+/// A wall-clock source (`SystemTime::now`/`Instant::now`) is reachable
+/// from certificate emission or memo-key construction.
+pub const AUDIT_TIME_IN_PAYLOAD: &str = "MMIO-L021";
+/// A crate root is missing `#![forbid(unsafe_code)]`.
+pub const AUDIT_MISSING_FORBID_UNSAFE: &str = "MMIO-L022";
+/// A `mutate`/`trace` feature-gated item is callable from a
+/// default-feature build (feature-gate hygiene).
+pub const AUDIT_FEATURE_LEAK: &str = "MMIO-L023";
+
 /// `(code, one-line description)` for every registered code, in order —
 /// the source of the documentation table in `DESIGN.md`.
 pub const TABLE: &[(&str, &str)] = &[
@@ -201,11 +253,79 @@ pub const TABLE: &[(&str, &str)] = &[
         "cached payload failed re-verification",
     ),
     (SERVE_ORPHAN_TEMP, "orphaned temp file swept on recovery"),
+    (
+        AUDIT_UNWRAP_REACHABLE,
+        "unwrap/expect reachable from a trust root",
+    ),
+    (
+        AUDIT_PANIC_REACHABLE,
+        "panic-family macro reachable from a trust root",
+    ),
+    (
+        AUDIT_INDEX_REACHABLE,
+        "slice indexing reachable from a trust root",
+    ),
+    (
+        AUDIT_ARITH_REACHABLE,
+        "unchecked arithmetic reachable from a trust root",
+    ),
+    (
+        AUDIT_JUSTIFICATION_ORPHANED,
+        "audit justification with nothing to justify",
+    ),
+    (
+        AUDIT_JUSTIFICATION_STALE,
+        "audit justification on an unflagged site",
+    ),
+    (
+        AUDIT_CODE_UNREGISTERED,
+        "emitted code registered in no codes::TABLE",
+    ),
+    (AUDIT_CODE_DEAD, "registered code never emitted"),
+    (
+        AUDIT_CODE_UNDOCUMENTED,
+        "registered code missing from DESIGN.md",
+    ),
+    (
+        AUDIT_CODE_UNTESTED,
+        "registered code asserted by no test or corpus",
+    ),
+    (
+        AUDIT_CODE_DUPLICATE_EMITTER,
+        "code emitted by two different crates",
+    ),
+    (
+        AUDIT_HASH_ITERATION,
+        "HashMap/HashSet iteration feeds rendered output",
+    ),
+    (
+        AUDIT_TIME_IN_PAYLOAD,
+        "wall-clock source reachable from payload/key construction",
+    ),
+    (
+        AUDIT_MISSING_FORBID_UNSAFE,
+        "crate root missing #![forbid(unsafe_code)]",
+    ),
+    (
+        AUDIT_FEATURE_LEAK,
+        "mutate/trace feature item callable from default build",
+    ),
 ];
+
+/// The merged cross-crate code registry: every `(registering crate,
+/// table)` pair in the workspace. The auditor's lifecycle pass, the CLI
+/// `codes` listing, and the `DESIGN.md` tables all read this one source,
+/// so a code added to either table is automatically lifecycle-checked.
+pub fn all_tables() -> Vec<(&'static str, &'static [(&'static str, &'static str)])> {
+    vec![
+        ("mmio-analyze", TABLE),
+        ("mmio-cert", mmio_cert::codes::TABLE),
+    ]
+}
 
 #[cfg(test)]
 mod tests {
-    use super::TABLE;
+    use super::{all_tables, TABLE};
 
     #[test]
     fn codes_are_unique_and_well_formed() {
@@ -217,6 +337,42 @@ mod tests {
                 "malformed {code}"
             );
             assert!(!desc.is_empty());
+        }
+    }
+
+    #[test]
+    fn merged_registry_has_no_duplicate_codes_or_split_families() {
+        let tables = all_tables();
+        assert!(tables.len() >= 2, "expected analyze + cert tables");
+        let mut codes = std::collections::HashSet::new();
+        // A family letter (the `X` in `MMIO-Xnnn`) must be registered by
+        // exactly one crate: two crates sharing a letter would make code
+        // provenance ambiguous.
+        let mut family_owner: std::collections::HashMap<char, &str> =
+            std::collections::HashMap::new();
+        for (crate_name, table) in &tables {
+            assert!(!table.is_empty(), "{crate_name}: empty table");
+            for (code, desc) in *table {
+                assert!(
+                    code.starts_with("MMIO-") && code.len() == 9,
+                    "malformed {code}"
+                );
+                assert!(codes.insert(*code), "duplicate code {code}");
+                assert!(!desc.is_empty(), "{code}: empty description");
+                let family = code.as_bytes()[5] as char;
+                let owner = family_owner.entry(family).or_insert(crate_name);
+                assert_eq!(
+                    owner, crate_name,
+                    "family {family} split across {owner} and {crate_name}"
+                );
+            }
+        }
+        // Spot-check the families the workspace relies on today.
+        for family in ['A', 'S', 'R', 'C', 'D', 'F', 'L', 'V'] {
+            assert!(
+                family_owner.contains_key(&family),
+                "family {family} missing from the merged registry"
+            );
         }
     }
 }

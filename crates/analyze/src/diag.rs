@@ -58,6 +58,9 @@ pub enum Span {
     Thread(u32),
     /// A distributed-machine rank (distsim audit diagnostics).
     Proc(u32),
+    /// A source line (static-audit diagnostics; the file is named in the
+    /// message — paths are dynamic, and `Span` stays `Copy`).
+    Source(u32),
     /// The artifact as a whole.
     Global,
 }
@@ -71,6 +74,7 @@ impl fmt::Display for Span {
             Span::Row { matrix, row } => write!(f, "{matrix}[{row}]"),
             Span::Thread(t) => write!(f, "thread {t}"),
             Span::Proc(p) => write!(f, "proc {p}"),
+            Span::Source(l) => write!(f, "line {l}"),
             Span::Global => f.write_str("global"),
         }
     }
@@ -95,6 +99,7 @@ impl Serialize for Span {
             ]),
             Span::Thread(t) => kv("thread", "index", u64::from(t)),
             Span::Proc(p) => kv("proc", "rank", u64::from(p)),
+            Span::Source(l) => kv("source", "line", u64::from(l)),
             Span::Global => {
                 Value::Object(vec![("kind".to_string(), Value::Str("global".to_string()))])
             }

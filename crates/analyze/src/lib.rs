@@ -56,6 +56,7 @@ pub use diag::{Diagnostic, Report, Severity, Span};
 pub use distsim::{audit_dist_trace, DistAudit};
 pub use facts::GraphFacts;
 pub use routing::{
-    audit_routing, audit_routing_paths, RoutingAudit, RoutingAuditor, RoutingCertificate,
+    audit_routing, audit_routing_paths, report_routing_infeasible, RoutingAudit, RoutingAuditor,
+    RoutingCertificate,
 };
 pub use schedule::{audit_schedule, ScheduleAudit};

@@ -184,6 +184,19 @@ pub fn audit_routing_paths<'a>(
     auditor.finish(claimed_bound, report)
 }
 
+/// Reports that the Routing Theorem's hypotheses fail outright: no
+/// n₀-capacity Hall matching exists, so there is no path family to audit
+/// at all. Lives here so the `MMIO-Rxxx` family keeps a single emitting
+/// crate even when the caller (e.g. the serve tier) detects the failure.
+pub fn report_routing_infeasible(report: &mut Report) {
+    report.push(
+        codes::ROUTE_BAD_PATH,
+        Severity::Error,
+        Span::Global,
+        "no n₀-capacity Hall matching: the Routing Theorem's hypotheses fail",
+    );
+}
+
 /// Audits a routing certificate against the graph, appending `MMIO-Rxxx`
 /// diagnostics and returning the measured hit statistics.
 pub fn audit_routing(g: &Cdag, cert: &RoutingCertificate, report: &mut Report) -> RoutingAudit {

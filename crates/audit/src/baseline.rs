@@ -1,0 +1,153 @@
+//! Baseline support: `mmio audit --baseline FILE` suppresses known
+//! findings so CI enforces "no *new* findings" while the backlog burns
+//! down.
+//!
+//! Baseline entries are the findings' line-independent keys — moving
+//! code around does not churn the file; only genuinely new findings
+//! (or fixes) change the diff. Keys present in the baseline that no
+//! longer match anything are reported as `fixed` so the file can be
+//! pruned (CI surfaces them; it does not fail on them).
+
+use crate::finding::Finding;
+use serde::Value;
+
+/// A parsed baseline file.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Suppressed finding keys, in file order.
+    pub keys: Vec<String>,
+}
+
+/// The result of applying a baseline.
+#[derive(Debug)]
+pub struct Applied {
+    /// Findings not covered by the baseline — these gate CI.
+    pub new: Vec<Finding>,
+    /// Findings matched (and silenced) by a baseline key.
+    pub suppressed: Vec<Finding>,
+    /// Baseline keys that matched nothing — fixed; prune them.
+    pub fixed: Vec<String>,
+}
+
+impl Baseline {
+    /// Parses the JSON baseline format:
+    /// `{ "version": 1, "entries": [ { "key": "...", "note": "..." } ] }`.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v: Value =
+            serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        match v.get("version") {
+            Some(Value::Int(1)) | Some(Value::UInt(1)) => {}
+            other => {
+                return Err(format!(
+                    "baseline version must be 1, found {:?}",
+                    other.map(Value::kind)
+                ))
+            }
+        }
+        let entries = match v.get("entries") {
+            Some(Value::Array(a)) => a,
+            _ => return Err("baseline has no `entries` array".to_string()),
+        };
+        let mut keys = Vec::new();
+        for e in entries {
+            match e.get("key") {
+                Some(Value::Str(k)) => keys.push(k.clone()),
+                _ => return Err("baseline entry lacks a string `key`".to_string()),
+            }
+        }
+        Ok(Baseline { keys })
+    }
+
+    /// Splits findings into new / suppressed and reports fixed keys.
+    /// A baseline key suppresses *every* finding with that key (a key
+    /// is intentionally not unique: one justification-worthy pattern
+    /// can surface at several lines of the same fn).
+    pub fn apply(&self, findings: Vec<Finding>) -> Applied {
+        let mut used = vec![false; self.keys.len()];
+        let mut new = Vec::new();
+        let mut suppressed = Vec::new();
+        for f in findings {
+            match self.keys.iter().position(|k| *k == f.key) {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed.push(f);
+                }
+                None => new.push(f),
+            }
+        }
+        let fixed = self
+            .keys
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(k, _)| k.clone())
+            .collect();
+        Applied {
+            new,
+            suppressed,
+            fixed,
+        }
+    }
+}
+
+/// Renders findings as a fresh baseline file (used to bootstrap or
+/// regenerate `AUDIT_BASELINE.json` after an accepted change).
+pub fn render(findings: &[Finding]) -> String {
+    let mut keys: Vec<&str> = findings.iter().map(|f| f.key.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let entries: Vec<Value> = keys
+        .into_iter()
+        .map(|k| Value::Object(vec![("key".to_string(), Value::Str(k.to_string()))]))
+        .collect();
+    let doc = Value::Object(vec![
+        ("version".to_string(), Value::Int(1)),
+        ("entries".to_string(), Value::Array(entries)),
+    ]);
+    serde_json::to_string_pretty(&doc).unwrap_or_else(|_| "{}".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmio_analyze::Severity;
+
+    fn finding(key: &str) -> Finding {
+        Finding {
+            code: "MMIO-L001",
+            severity: Severity::Error,
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            message: "m".to_string(),
+            chain: Vec::new(),
+            key: key.to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_apply_roundtrip() {
+        let b =
+            Baseline::parse(r#"{ "version": 1, "entries": [ {"key": "a"}, {"key": "gone"} ] }"#)
+                .unwrap();
+        let applied = b.apply(vec![finding("a"), finding("b")]);
+        assert_eq!(applied.new.len(), 1);
+        assert_eq!(applied.new[0].key, "b");
+        assert_eq!(applied.suppressed.len(), 1);
+        assert_eq!(applied.fixed, vec!["gone".to_string()]);
+    }
+
+    #[test]
+    fn bad_baselines_are_rejected() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse(r#"{"version": 2, "entries": []}"#).is_err());
+        assert!(Baseline::parse(r#"{"version": 1}"#).is_err());
+        assert!(Baseline::parse(r#"{"version": 1, "entries": [{}]}"#).is_err());
+    }
+
+    #[test]
+    fn render_is_sorted_and_deduped() {
+        let text = render(&[finding("z"), finding("a"), finding("z")]);
+        let b = Baseline::parse(&text).unwrap();
+        assert_eq!(b.keys, vec!["a".to_string(), "z".to_string()]);
+    }
+}

@@ -1,0 +1,68 @@
+//! The auditor's finding record: a diagnostic plus source provenance,
+//! a call-chain witness, and a line-independent baseline key.
+
+use mmio_analyze::diag::{Severity, Span};
+use serde::{Serialize, Value};
+
+/// One audit finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Stable code from [`mmio_analyze::codes`] (`MMIO-Lxxx`).
+    pub code: &'static str,
+    pub severity: Severity,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+    /// Shortest call chain from a trust root to the site (panic pass
+    /// only; empty for registry/hygiene findings). Each entry is
+    /// `qualname (file:line)`.
+    pub chain: Vec<String>,
+    /// Line-independent identity for baseline matching: unchanged code
+    /// that merely moves does not churn the baseline.
+    pub key: String,
+}
+
+impl Finding {
+    /// Renders through the shared diagnostics machinery.
+    pub fn to_diagnostic(&self) -> mmio_analyze::Diagnostic {
+        mmio_analyze::Diagnostic {
+            code: self.code,
+            severity: self.severity,
+            span: Span::Source(self.line),
+            message: format!("{}: {}", self.file, self.message),
+            suggestion: if self.chain.is_empty() {
+                None
+            } else {
+                Some(format!("witness: {}", self.chain.join(" -> ")))
+            },
+        }
+    }
+}
+
+impl Serialize for Finding {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("code".to_string(), Value::Str(self.code.to_string())),
+            (
+                "severity".to_string(),
+                Value::Str(self.severity.as_str().to_string()),
+            ),
+            ("file".to_string(), Value::Str(self.file.clone())),
+            ("line".to_string(), Value::UInt(u64::from(self.line))),
+            ("message".to_string(), Value::Str(self.message.clone())),
+            (
+                "chain".to_string(),
+                Value::Array(self.chain.iter().map(|c| Value::Str(c.clone())).collect()),
+            ),
+            ("key".to_string(), Value::Str(self.key.clone())),
+        ])
+    }
+}
+
+/// Builds the stable baseline key. Deliberately excludes line numbers.
+pub fn key_of(code: &str, file: &str, qualname: &str, detail: &str) -> String {
+    format!("{code}|{file}|{qualname}|{detail}")
+}

@@ -1,0 +1,469 @@
+//! A line-tracking token scanner for Rust source.
+//!
+//! The auditor needs far less than a full Rust grammar: identifiers,
+//! punctuation, literal boundaries, and comments (justification comments
+//! are part of the audit surface, so comments are *kept*, not skipped).
+//! The scanner is deliberately lossless about the things the passes match
+//! on — `ident (`, `. ident (`, `ident !`, postfix `[`, `#[cfg(...)]`,
+//! `"MMIO-X000"` literals — and lossy about everything else (all literal
+//! kinds collapse to one token carrying their source text).
+//!
+//! Handles the lexical edge cases that would otherwise corrupt a token
+//! stream: nested block comments, raw strings with arbitrary `#` fences,
+//! raw identifiers (`r#fn`), byte/char literals, lifetimes vs. char
+//! literals, and multi-character operators (`->`, `=>`, `::`, shifts and
+//! compound assignments) so that `-` in `->` is never mistaken for
+//! arithmetic.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (Rust keywords are not distinguished here;
+    /// the parser checks the text).
+    Ident(String),
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// Any literal — string, raw string, byte string, char, or number —
+    /// carrying its raw source text (quotes and prefixes included).
+    Lit(String),
+    /// A punctuation token, possibly multi-character (`::`, `->`, `+=`).
+    Punct(&'static str),
+    /// A line comment, with its full text (no trailing newline).
+    LineComment(String),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+impl Spanned {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal's *string contents* if this is a plain string literal
+    /// (`"…"`), with the quotes stripped and no unescaping (the audit
+    /// matches exact substrings like `MMIO-A001`, never escapes).
+    pub fn str_contents(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Lit(s) if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') => {
+                Some(&s[1..s.len() - 1])
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        matches!(&self.tok, Tok::Punct(q) if *q == p)
+    }
+
+    /// Whether this token is the exact identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(s) if s == name)
+    }
+}
+
+/// Multi-character punctuation, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Scans `src` into a token stream. Never fails: unterminated constructs
+/// consume to end-of-input (the audit must not abort on odd-but-compiling
+/// source, and fixture files are never compiled at all).
+pub fn lex(src: &str) -> Vec<Spanned> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                out.push(Spanned {
+                    tok: Tok::LineComment(text),
+                    line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comments.
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (start, l) = (i, line);
+                i = scan_string(b, i + 1, &mut line);
+                out.push(lit(src, start, i, l));
+            }
+            b'r' | b'b' if starts_literal(b, i) => {
+                let (start, l) = (i, line);
+                i = scan_raw_or_byte(b, i, &mut line);
+                out.push(lit(src, start, i, l));
+            }
+            b'r' if b.get(i + 1) == Some(&b'#') => {
+                // Raw identifier `r#fn`: strip the prefix, keep the name.
+                let start = i + 2;
+                i = start;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(String::from_utf8_lossy(&b[start..i]).into_owned()),
+                    line,
+                });
+            }
+            b'\'' => {
+                let (tok, next) = scan_quote(src, i, &mut line);
+                out.push(Spanned { tok, line });
+                i = next;
+            }
+            c if c.is_ascii_digit() => {
+                let (start, l) = (i, line);
+                i += 1;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // `1..2` range: stop before `..`.
+                    if b[i] == b'.' && b.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.push(lit(src, start, i, l));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                out.push(Spanned {
+                    tok: Tok::Ident(text),
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let p = PUNCTS
+                    .iter()
+                    .find(|p| rest.starts_with(**p))
+                    .copied()
+                    .unwrap_or_else(|| single_punct(c));
+                i += p.len().max(1);
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    line,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn lit(src: &str, start: usize, end: usize, line: u32) -> Spanned {
+    Spanned {
+        tok: Tok::Lit(src[start..end.min(src.len())].to_string()),
+        line,
+    }
+}
+
+/// Maps a single byte to its static punctuation string (unknown bytes
+/// collapse to `"?"` — the passes never match on it).
+fn single_punct(c: u8) -> &'static str {
+    match c {
+        b'(' => "(",
+        b')' => ")",
+        b'[' => "[",
+        b']' => "]",
+        b'{' => "{",
+        b'}' => "}",
+        b'<' => "<",
+        b'>' => ">",
+        b',' => ",",
+        b';' => ";",
+        b':' => ":",
+        b'.' => ".",
+        b'#' => "#",
+        b'!' => "!",
+        b'?' => "?",
+        b'=' => "=",
+        b'+' => "+",
+        b'-' => "-",
+        b'*' => "*",
+        b'/' => "/",
+        b'%' => "%",
+        b'&' => "&",
+        b'|' => "|",
+        b'^' => "^",
+        b'@' => "@",
+        b'$' => "$",
+        b'~' => "~",
+        _ => "?",
+    }
+}
+
+/// Consumes a double-quoted string body starting *after* the opening
+/// quote; returns the index after the closing quote.
+fn scan_string(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Whether position `i` starts a raw string (`r"`, `r#…#"`), byte string
+/// (`b"`, `br"`, `br#…#"`), or byte char (`b'x'`). A raw *identifier*
+/// (`r#fn`) is excluded: after the `#` fence run there must be a quote.
+fn starts_literal(b: &[u8], i: usize) -> bool {
+    match b[i] {
+        b'r' => fenced_quote_follows(b, i + 1),
+        b'b' => match b.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => fenced_quote_follows(b, i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Whether a run of `#` fences followed by `"` starts at `j`.
+fn fenced_quote_follows(b: &[u8], mut j: usize) -> bool {
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+/// Consumes a raw/byte string (or byte char) starting at its prefix;
+/// returns the index after it.
+fn scan_raw_or_byte(b: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let raw = b[i] == b'r' || (b[i] == b'b' && b.get(i + 1) == Some(&b'r'));
+    // Skip the prefix letters.
+    while i < b.len() && (b[i] == b'r' || b[i] == b'b') {
+        i += 1;
+    }
+    if raw {
+        let mut fences = 0usize;
+        while b.get(i) == Some(&b'#') {
+            fences += 1;
+            i += 1;
+        }
+        if b.get(i) == Some(&b'"') {
+            i += 1;
+        }
+        while i < b.len() {
+            if b[i] == b'\n' {
+                *line += 1;
+                i += 1;
+            } else if b[i] == b'"'
+                && b[i + 1..].len() >= fences
+                && b[i + 1..i + 1 + fences].iter().all(|c| *c == b'#')
+            {
+                return i + 1 + fences;
+            } else {
+                i += 1;
+            }
+        }
+        i
+    } else if b.get(i) == Some(&b'\'') {
+        // Byte char `b'x'`.
+        i += 1;
+        if b.get(i) == Some(&b'\\') {
+            i += 2;
+        } else {
+            i += 1;
+        }
+        if b.get(i) == Some(&b'\'') {
+            i += 1;
+        }
+        i
+    } else {
+        // Plain byte string `b"..."`.
+        if b.get(i) == Some(&b'"') {
+            i += 1;
+        }
+        scan_string(b, i, line)
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'x'` / `'\n'` (char literal).
+/// Returns the token and the index after it; `i` points at the `'`.
+fn scan_quote(src: &str, i: usize, line: &mut u32) -> (Tok, usize) {
+    let b = src.as_bytes();
+    let next = b.get(i + 1).copied();
+    let done = |end: usize| {
+        (
+            Tok::Lit(src[i..end.min(src.len())].to_string()),
+            end.min(src.len()),
+        )
+    };
+    match next {
+        Some(b'\\') => {
+            // Escaped char literal: skip to the closing quote.
+            let mut j = i + 2;
+            while j < b.len() && b[j] != b'\'' {
+                j += 1;
+            }
+            done(j + 1)
+        }
+        Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+            if b.get(i + 2) == Some(&b'\'') {
+                // 'x' — a one-character char literal.
+                done(i + 3)
+            } else {
+                // 'a followed by more ident chars (or not a quote):
+                // lifetime. Consume the identifier part.
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                (Tok::Lifetime, j)
+            }
+        }
+        Some(b'\'') => done(i + 2), // degenerate `''`
+        Some(b'\n') => {
+            *line += 1;
+            done(i + 2)
+        }
+        Some(_) => {
+            // Punctuation char literal like '(' — must close next.
+            if b.get(i + 2) == Some(&b'\'') {
+                done(i + 3)
+            } else {
+                done(i + 2)
+            }
+        }
+        None => done(i + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).into_iter().map(|s| s.tok).collect()
+    }
+
+    fn lits(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Lit(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_calls() {
+        let t = kinds("fn foo() { bar(1); }");
+        assert_eq!(t[0], Tok::Ident("fn".into()));
+        assert_eq!(t[1], Tok::Ident("foo".into()));
+        assert!(t.contains(&Tok::Ident("bar".into())));
+    }
+
+    #[test]
+    fn arrow_is_not_arithmetic() {
+        let t = kinds("fn f() -> u32 { 1 - 2 }");
+        assert!(t.contains(&Tok::Punct("->")));
+        assert!(t.contains(&Tok::Punct("-")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert_eq!(t.iter().filter(|k| **k == Tok::Lifetime).count(), 2);
+        let lit_count = t.iter().filter(|k| matches!(k, Tok::Lit(_))).count();
+        assert_eq!(lit_count, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_fences_and_brackets() {
+        let t = kinds(r##"let s = r#"a [0] "quoted" b"#; x[0]"##);
+        // The bracket inside the raw string must not appear; the trailing
+        // index must.
+        let brackets = t.iter().filter(|k| **k == Tok::Punct("[")).count();
+        assert_eq!(brackets, 1);
+    }
+
+    #[test]
+    fn raw_identifiers_do_not_eat_the_file() {
+        let t = kinds("let r#fn = 1; call(r#fn); x[0]");
+        assert!(t.contains(&Tok::Ident("fn".into())));
+        assert!(t.contains(&Tok::Punct("[")));
+    }
+
+    #[test]
+    fn string_contents_are_preserved() {
+        let l = lits(r#"const C: &str = "MMIO-A001";"#);
+        assert_eq!(l, vec![r#""MMIO-A001""#.to_string()]);
+        let toks = lex(r#"let x = "MMIO-L020";"#);
+        let lit = toks.iter().find(|t| matches!(t.tok, Tok::Lit(_))).unwrap();
+        assert_eq!(lit.str_contents(), Some("MMIO-L020"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_tracking() {
+        let toks = lex("/* a /* b */ c */\nfn g() {}\n// tail");
+        assert_eq!(toks[0].line, 2);
+        assert!(matches!(toks.last().unwrap().tok, Tok::LineComment(_)));
+        assert_eq!(toks.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn byte_literals() {
+        let t = kinds(r##"let a = b"bytes"; let c = b'x'; let r = br#"raw"#;"##);
+        assert_eq!(t.iter().filter(|k| matches!(k, Tok::Lit(_))).count(), 3);
+    }
+
+    #[test]
+    fn compound_assignment_ops() {
+        let t = kinds("x += 1; y <<= 2; z -= 3;");
+        assert!(t.contains(&Tok::Punct("+=")));
+        assert!(t.contains(&Tok::Punct("<<=")));
+        assert!(t.contains(&Tok::Punct("-=")));
+    }
+}

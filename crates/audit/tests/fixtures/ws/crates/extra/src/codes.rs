@@ -1,0 +1,7 @@
+//! Fixture code registry.
+
+pub const GOOD: &str = "MMIO-X001";
+pub const DEAD: &str = "MMIO-X003";
+pub const UNDOC: &str = "MMIO-X012";
+pub const UNTESTED: &str = "MMIO-X013";
+pub const SHARED: &str = "MMIO-X014";

@@ -1,0 +1,24 @@
+//! Fixture: registry-lifecycle violations (MMIO-L010..L014) and a crate
+//! root deliberately missing `#![forbid(unsafe_code)]` (L022).
+
+pub mod codes;
+
+pub fn emit_good() -> &'static str {
+    codes::GOOD
+}
+
+pub fn emit_unregistered() -> &'static str {
+    "MMIO-X009"
+}
+
+pub fn emit_undocumented() -> &'static str {
+    codes::UNDOC
+}
+
+pub fn emit_untested() -> &'static str {
+    codes::UNTESTED
+}
+
+pub fn emit_shared() -> &'static str {
+    codes::SHARED
+}

@@ -1,0 +1,26 @@
+#![forbid(unsafe_code)]
+//! Fixture: hash-order iteration on the render path (MMIO-L020), a
+//! feature-gated hook leaking into the default build (L023), and a
+//! second emitter of `MMIO-X014` (L014, with crates/extra).
+
+use std::collections::HashMap;
+
+pub fn to_line() -> String {
+    let m: HashMap<String, u64> = HashMap::new();
+    let mut out = String::new();
+    for k in m.keys() {
+        out.push_str(k);
+    }
+    out
+}
+
+#[cfg(feature = "mutate")]
+pub fn mutate_hook() {}
+
+pub fn default_path() {
+    mutate_hook();
+}
+
+pub fn emit_shared_again() -> &'static str {
+    "MMIO-X014"
+}

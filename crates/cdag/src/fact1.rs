@@ -29,6 +29,7 @@ impl<'g> Subcomputation<'g> {
     /// # Panics
     /// Panics if `k > r`.
     pub fn count(g: &Cdag, k: u32) -> u64 {
+        // audit: safe — documented contract panic; verify-path callers pass k ≤ r
         assert!(k <= g.r(), "k must be at most r");
         index::pow(g.base().b(), g.r() - k)
     }

@@ -156,6 +156,7 @@ impl Cdag {
 
     /// Total number of vertices.
     pub fn n_vertices(&self) -> usize {
+        // audit: safe — seg_offsets is built with 3(r+1)+1 entries, never empty
         *self.seg_offsets.last().unwrap() as usize
     }
 
@@ -177,18 +178,19 @@ impl Cdag {
     /// `b^t·a^{r-t}` for encoding rank `t`, `b^{r-k}·a^k` for decoding rank `k`.
     pub fn segment_len(&self, layer: Layer, level: u32) -> u64 {
         let s = self.seg_index(layer, level);
+        // audit: safe — s = seg_index(..) < 3(r+1); the table has 3(r+1)+1 offsets
         self.seg_offsets[s + 1] - self.seg_offsets[s]
     }
 
     /// Dense id of the first vertex of segment `(layer, level)`.
     pub fn segment_start(&self, layer: Layer, level: u32) -> u64 {
-        self.seg_offsets[self.seg_index(layer, level)]
+        self.seg_offsets[self.seg_index(layer, level)] // audit: safe — seg_index < table len
     }
 
     /// `a^{entry_len}` — the precomputed entry-suffix width of segment
     /// `(layer, level)`, so hot loops never re-evaluate `pow`.
     pub fn entry_width(&self, layer: Layer, level: u32) -> u64 {
-        self.seg_suffix[self.seg_index(layer, level)]
+        self.seg_suffix[self.seg_index(layer, level)] // audit: safe — seg_index < table len
     }
 
     /// Length of the packed `entry` suffix for vertices in `(layer, level)`.
@@ -234,8 +236,8 @@ impl Cdag {
             1 => (Layer::EncB, (s % rp1) as u32),
             _ => (Layer::Dec, (s % rp1) as u32),
         };
-        let local = pos - self.seg_offsets[s];
-        let suffix = self.seg_suffix[s];
+        let local = pos - self.seg_offsets[s]; // audit: safe — binary_search result is in range
+        let suffix = self.seg_suffix[s]; // audit: safe — s < 3(r+1)+1 as above
         VertexRef {
             layer,
             level,
@@ -257,6 +259,7 @@ impl Cdag {
     /// Direct predecessors of `v` (the values `v`'s computation reads).
     pub fn preds(&self, v: VertexId) -> &[VertexId] {
         let i = v.idx();
+        // audit: safe — CSR invariant: pred_off has n+1 monotone entries bounding pred_tgt
         &self.pred_tgt[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 

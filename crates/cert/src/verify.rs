@@ -63,7 +63,16 @@ pub struct Verdict {
 impl Verdict {
     /// Serializes the verdict to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("verdicts always serialize")
+        serde_json::to_string(self).unwrap_or_else(|e| {
+            // A verdict that cannot render must still reject: degrade to
+            // a hand-built non-accepting verdict rather than panic.
+            format!(
+                "{{\"format_version\":0,\"kind\":\"\",\"algo\":\"\",\"accepted\":false,\
+                 \"rejections\":[{{\"code\":\"{}\",\"detail\":\"verdict render failed: {}\"}}]}}",
+                codes::V_MALFORMED,
+                e.to_string().replace(['"', '\\'], "?")
+            )
+        })
     }
 
     /// Whether `code` appears among the rejections.
@@ -224,7 +233,11 @@ fn verify_routing(cert: &Certificate, p: &RoutingPayload, ctx: &mut Ctx) {
         return;
     };
 
-    let ak = checked_pow(kview.a() as u64, p.k).expect("a^k bounded by the id space");
+    // a^k fits whenever the k-view built, but reject rather than assume.
+    let Some(ak) = checked_pow(kview.a() as u64, p.k) else {
+        ctx.reject(codes::V_PARAMS, "a^k overflows the id space");
+        return;
+    };
     let Some(expected_paths) = ak.checked_mul(ak).and_then(|x| x.checked_mul(2)) else {
         ctx.reject(codes::V_PARAMS, "expected path count 2a^{2k} overflows");
         return;
@@ -279,24 +292,22 @@ fn verify_routing(cert: &Certificate, p: &RoutingPayload, ctx: &mut Ctx) {
         }
         let mut ok = true;
         for (j, w) in path.windows(2).enumerate() {
+            let &[u, v] = w else { continue };
             // Forward orientation: each hop's later vertex lists the earlier
             // one among its predecessors; accept either direction so path
             // storage order is not part of the format contract.
             preds.clear();
-            kview.preds_into(w[1], &mut preds);
-            let mut edge = preds.contains(&w[0]);
+            kview.preds_into(v, &mut preds);
+            let mut edge = preds.contains(&u);
             if !edge {
                 preds.clear();
-                kview.preds_into(w[0], &mut preds);
-                edge = preds.contains(&w[1]);
+                kview.preds_into(u, &mut preds);
+                edge = preds.contains(&v);
             }
             if !edge {
                 ctx.reject(
                     codes::V_ROUTE_NON_EDGE,
-                    format!(
-                        "path {i} hop {j}: ({}, {}) is not an edge of G_{}",
-                        w[0], w[1], p.k
-                    ),
+                    format!("path {i} hop {j}: ({u}, {v}) is not an edge of G_{}", p.k),
                 );
                 ok = false;
                 break;
@@ -305,7 +316,9 @@ fn verify_routing(cert: &Certificate, p: &RoutingPayload, ctx: &mut Ctx) {
         if !ok {
             continue;
         }
-        let (s, t) = (path[0], *path.last().unwrap());
+        let (Some(&s), Some(&t)) = (path.first(), path.last()) else {
+            continue; // unreachable: emptiness rejected above
+        };
         let pair = match (kview.input_ord(s), kview.output_ord(t)) {
             (Some(iord), Some(oord)) => Some((iord, oord)),
             _ => match (kview.input_ord(t), kview.output_ord(s)) {
@@ -321,13 +334,21 @@ fn verify_routing(cert: &Certificate, p: &RoutingPayload, ctx: &mut Ctx) {
         };
         if let Some((iord, oord)) = pair {
             let slot = (iord * outputs + oord) as usize;
-            if pair_seen[slot] {
-                ctx.reject(
+            match pair_seen.get_mut(slot) {
+                Some(true) => {
+                    ctx.reject(
+                        codes::V_ROUTE_PAIRS,
+                        format!("pair (input {iord}, output {oord}) routed twice"),
+                    );
+                }
+                Some(seen) => *seen = true,
+                // Ordinals are bounded by the view's own input/output
+                // counts, which size the table — defensive only.
+                None => ctx.reject(
                     codes::V_ROUTE_PAIRS,
-                    format!("pair (input {iord}, output {oord}) routed twice"),
-                );
+                    format!("pair (input {iord}, output {oord}) out of range"),
+                ),
             }
-            pair_seen[slot] = true;
         }
         counter.add_path(path.iter().copied());
     }
@@ -376,8 +397,10 @@ fn verify_routing(cert: &Certificate, p: &RoutingPayload, ctx: &mut Ctx) {
 /// Re-checks the Fact-1 transport: the prefix set must be exactly
 /// `[b^{r-k}]`, and every lifted hop of every path must be an edge of `G_r`.
 fn verify_transport(p: &RoutingPayload, kview: &IndexView, rview: &IndexView, ctx: &mut Ctx) {
-    let copies =
-        checked_pow(kview.b() as u64, p.r - p.k).expect("b^{r-k} bounded by the r-view id space");
+    let Some(copies) = checked_pow(kview.b() as u64, p.r - p.k) else {
+        ctx.reject(codes::V_PARAMS, "b^{r-k} overflows the id space");
+        return;
+    };
     if p.copy_prefixes.len() as u64 != copies {
         ctx.reject(
             codes::V_ROUTE_TRANSPORT,
@@ -390,22 +413,20 @@ fn verify_transport(p: &RoutingPayload, kview: &IndexView, rview: &IndexView, ct
     let mut seen = vec![false; copies as usize];
     let mut prefixes_ok = Vec::new();
     for &prefix in &p.copy_prefixes {
-        if prefix >= copies {
-            ctx.reject(
+        match usize::try_from(prefix).ok().and_then(|i| seen.get_mut(i)) {
+            None => ctx.reject(
                 codes::V_ROUTE_TRANSPORT,
                 format!("prefix {prefix} out of range [0, {copies})"),
-            );
-            continue;
-        }
-        if seen[prefix as usize] {
-            ctx.reject(
+            ),
+            Some(true) => ctx.reject(
                 codes::V_ROUTE_TRANSPORT,
                 format!("prefix {prefix} duplicated"),
-            );
-            continue;
+            ),
+            Some(s) => {
+                *s = true;
+                prefixes_ok.push(prefix);
+            }
         }
-        seen[prefix as usize] = true;
-        prefixes_ok.push(prefix);
     }
 
     let work = (prefixes_ok.len() as u64).saturating_mul(p.paths.len() as u64);
@@ -425,16 +446,13 @@ fn verify_transport(p: &RoutingPayload, kview: &IndexView, rview: &IndexView, ct
                 continue; // already rejected structurally
             }
             for w in path.windows(2) {
-                let (Some(lu), Some(lv)) = (
-                    rview.lift(kview, prefix, w[0]),
-                    rview.lift(kview, prefix, w[1]),
-                ) else {
+                let &[hu, hv] = w else { continue };
+                let (Some(lu), Some(lv)) =
+                    (rview.lift(kview, prefix, hu), rview.lift(kview, prefix, hv))
+                else {
                     ctx.reject(
                         codes::V_ROUTE_TRANSPORT,
-                        format!(
-                            "prefix {prefix}: hop ({}, {}) does not lift into G_r",
-                            w[0], w[1]
-                        ),
+                        format!("prefix {prefix}: hop ({hu}, {hv}) does not lift into G_r"),
                     );
                     bad = true;
                     break;
@@ -466,6 +484,26 @@ fn verify_transport(p: &RoutingPayload, kview: &IndexView, rview: &IndexView, ct
     }
 }
 
+/// Total-access replay column: reads off the end yield the zero value,
+/// writes off the end are dropped. Vertex ids are validated against the
+/// view size before replay begins, so the defensive path never executes
+/// — it exists to keep the replay free of panic sites.
+struct Col<T: Copy + Default>(Vec<T>);
+
+impl<T: Copy + Default> Col<T> {
+    fn new(n: usize) -> Col<T> {
+        Col(vec![T::default(); n])
+    }
+    fn get(&self, i: usize) -> T {
+        self.0.get(i).copied().unwrap_or_default()
+    }
+    fn set(&mut self, i: usize, val: T) {
+        if let Some(slot) = self.0.get_mut(i) {
+            *slot = val;
+        }
+    }
+}
+
 fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
     if p.ops.len() != p.vertices.len() {
         ctx.reject(
@@ -493,10 +531,10 @@ fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
     // Full replay under the machine-model rules of the pebble simulator,
     // with its exact error precedence. The replay stops at the first
     // illegality — later state would be fiction.
-    let mut in_cache = vec![false; n as usize];
-    let mut computed = vec![false; n as usize];
-    let mut stored = vec![false; n as usize];
-    let mut open = vec![0u64; n as usize];
+    let mut in_cache = Col::<bool>::new(n as usize);
+    let mut computed = Col::<bool>::new(n as usize);
+    let mut stored = Col::<bool>::new(n as usize);
+    let mut open = Col::<u64>::new(n as usize);
     let mut intervals: Vec<(u32, u64, u64)> = Vec::new();
     let mut occupancy: u64 = 0;
     let mut peak: u64 = 0;
@@ -508,13 +546,13 @@ fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
         let vi = v as usize;
         match op {
             'L' => {
-                if !view.is_input(v) && !stored[vi] {
+                if !view.is_input(v) && !stored.get(vi) {
                     ctx.reject(
                         codes::V_SCHED_BAD_LOAD,
                         format!("action {i}: load of {v}, which is not in slow memory"),
                     );
                     legal = false;
-                } else if in_cache[vi] {
+                } else if in_cache.get(vi) {
                     ctx.reject(
                         codes::V_SCHED_BAD_LOAD,
                         format!("action {i}: load of {v}, which is already cached"),
@@ -527,34 +565,34 @@ fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
                     );
                     legal = false;
                 } else {
-                    in_cache[vi] = true;
-                    open[vi] = i as u64;
+                    in_cache.set(vi, true);
+                    open.set(vi, i as u64);
                     occupancy += 1;
                     loads += 1;
                 }
             }
             'S' => {
-                if !in_cache[vi] {
+                if !in_cache.get(vi) {
                     ctx.reject(
                         codes::V_SCHED_NOT_RESIDENT,
                         format!("action {i}: store of non-resident {v}"),
                     );
                     legal = false;
                 } else {
-                    stored[vi] = true;
+                    stored.set(vi, true);
                     stores += 1;
                 }
             }
             'D' => {
-                if !in_cache[vi] {
+                if !in_cache.get(vi) {
                     ctx.reject(
                         codes::V_SCHED_NOT_RESIDENT,
                         format!("action {i}: drop of non-resident {v}"),
                     );
                     legal = false;
                 } else {
-                    in_cache[vi] = false;
-                    intervals.push((v, open[vi], i as u64));
+                    in_cache.set(vi, false);
+                    intervals.push((v, open.get(vi), i as u64));
                     occupancy -= 1;
                 }
             }
@@ -567,13 +605,13 @@ fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
                         format!("action {i}: compute of input {v}"),
                     );
                     legal = false;
-                } else if computed[vi] {
+                } else if computed.get(vi) {
                     ctx.reject(
                         codes::V_SCHED_BAD_COMPUTE,
                         format!("action {i}: recomputation of {v}"),
                     );
                     legal = false;
-                } else if let Some(&missing) = preds.iter().find(|&&q| !in_cache[q as usize]) {
+                } else if let Some(&missing) = preds.iter().find(|&&q| !in_cache.get(q as usize)) {
                     ctx.reject(
                         codes::V_SCHED_MISSING_OPERAND,
                         format!("action {i}: compute of {v} with operand {missing} not cached"),
@@ -586,10 +624,10 @@ fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
                     );
                     legal = false;
                 } else {
-                    in_cache[vi] = true;
-                    open[vi] = i as u64;
+                    in_cache.set(vi, true);
+                    open.set(vi, i as u64);
                     occupancy += 1;
-                    computed[vi] = true;
+                    computed.set(vi, true);
                     computes += 1;
                 }
             }
@@ -609,13 +647,13 @@ fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
 
     // Terminal conditions: every non-input computed, every output stored.
     for v in 0..n {
-        if !view.is_input(v) && !computed[v as usize] {
+        if !view.is_input(v) && !computed.get(v as usize) {
             ctx.reject(
                 codes::V_SCHED_INCOMPLETE,
                 format!("vertex {v} never computed"),
             );
         }
-        if view.is_output(v) && !stored[v as usize] {
+        if view.is_output(v) && !stored.get(v as usize) {
             ctx.reject(
                 codes::V_SCHED_INCOMPLETE,
                 format!("output {v} never stored"),
@@ -645,8 +683,8 @@ fn verify_schedule(cert: &Certificate, p: &SchedulePayload, ctx: &mut Ctx) {
     // the trace length. Compare as sorted multisets.
     let len = p.ops.len() as u64;
     for v in 0..n as usize {
-        if in_cache[v] {
-            intervals.push((v as u32, open[v], len));
+        if in_cache.get(v) {
+            intervals.push((v as u32, open.get(v), len));
         }
     }
     let mut claimed: Vec<(u32, u64, u64)> = p
@@ -688,7 +726,7 @@ fn verify_sweep(cert: &Certificate, p: &SweepPayload, ctx: &mut Ctx) {
         return;
     }
     for (i, &m) in p.ms.iter().enumerate() {
-        if p.ms[..i].contains(&m) {
+        if p.ms.iter().take(i).any(|&prior| prior == m) {
             ctx.reject(codes::V_SWEEP_MALFORMED, format!("cache size {m} repeats"));
         }
     }
@@ -701,20 +739,25 @@ fn verify_sweep(cert: &Certificate, p: &SweepPayload, ctx: &mut Ctx) {
     let used_inputs = view.used_inputs();
     let outputs = view.outputs_count();
     let work = view.n_vertices() as u64 - view.inputs_count();
-    for i in 0..p.ms.len() {
-        let m = p.ms[i];
-        if p.feasible[i] != (m >= need) {
+    let rows =
+        p.ms.iter()
+            .zip(&p.feasible)
+            .zip(&p.loads)
+            .zip(&p.stores)
+            .zip(&p.computes);
+    for ((((&m, &feasible), &loads), &stores), &computes) in rows {
+        if feasible != (m >= need) {
             ctx.reject(
                 codes::V_SWEEP_FLOOR,
                 format!(
                     "M = {m}: declared {}feasible but the minimum cache is {need}",
-                    if p.feasible[i] { "" } else { "in" }
+                    if feasible { "" } else { "in" }
                 ),
             );
             continue;
         }
-        if !p.feasible[i] {
-            if p.loads[i] != 0 || p.stores[i] != 0 || p.computes[i] != 0 {
+        if !feasible {
+            if loads != 0 || stores != 0 || computes != 0 {
                 ctx.reject(
                     codes::V_SWEEP_FLOOR,
                     format!("M = {m}: infeasible point carries nonzero I/O claims"),
@@ -722,31 +765,22 @@ fn verify_sweep(cert: &Certificate, p: &SweepPayload, ctx: &mut Ctx) {
             }
             continue;
         }
-        if p.loads[i] < used_inputs {
+        if loads < used_inputs {
             ctx.reject(
                 codes::V_SWEEP_FLOOR,
-                format!(
-                    "M = {m}: {} loads, below the {used_inputs} used inputs",
-                    p.loads[i]
-                ),
+                format!("M = {m}: {loads} loads, below the {used_inputs} used inputs"),
             );
         }
-        if p.stores[i] < outputs {
+        if stores < outputs {
             ctx.reject(
                 codes::V_SWEEP_FLOOR,
-                format!(
-                    "M = {m}: {} stores, below the {outputs} outputs",
-                    p.stores[i]
-                ),
+                format!("M = {m}: {stores} stores, below the {outputs} outputs"),
             );
         }
-        if p.computes[i] != work {
+        if computes != work {
             ctx.reject(
                 codes::V_SWEEP_WORK,
-                format!(
-                    "M = {m}: {} computes, the non-input vertex count is {work}",
-                    p.computes[i]
-                ),
+                format!("M = {m}: {computes} computes, the non-input vertex count is {work}"),
             );
         }
     }

@@ -1,0 +1,89 @@
+//! Regression tests for the verifier's typed-rejection paths — the
+//! sites the static auditor proves panic-free must keep answering with
+//! stable codes, never by unwinding. Each test pins one previously
+//! untested `MMIO-V0xx` rejection.
+
+use mmio_cert::format::{Payload, RoutingPayload, SchedulePayload};
+use mmio_cert::{fixtures, verify, verify_json, Certificate};
+
+fn routing_mut(cert: &mut Certificate) -> &mut RoutingPayload {
+    match &mut cert.payload {
+        Payload::Routing(p) => p,
+        other => panic!("expected routing payload, got {other:?}"),
+    }
+}
+
+fn schedule_mut(cert: &mut Certificate) -> &mut SchedulePayload {
+    match &mut cert.payload {
+        Payload::Schedule(p) => p,
+        other => panic!("expected schedule payload, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_params_reject_with_v004() {
+    // k = 0 breaks the Routing Theorem's 1 ≤ k precondition.
+    let mut low = fixtures::unit_routing();
+    routing_mut(&mut low).k = 0;
+    let v = verify(&low);
+    assert!(!v.accepted);
+    assert!(v.has_code("MMIO-V004"), "{:?}", v.rejections);
+
+    // k > r inverts the Fact-1 transport direction.
+    let mut inverted = fixtures::unit_routing();
+    routing_mut(&mut inverted).k = 5;
+    let v = verify(&inverted);
+    assert!(!v.accepted);
+    assert!(v.has_code("MMIO-V004"), "{:?}", v.rejections);
+}
+
+#[test]
+fn vertex_and_group_overload_reject_with_v012_v013() {
+    // Route the same input-output pair nine times: vertex 4 (the
+    // product) and its copy group are hit 9 > 6a^k = 6 times. The pair
+    // duplication and path count are also wrong — the verifier must
+    // still reach and report the congestion recount.
+    let mut cert = fixtures::unit_routing();
+    routing_mut(&mut cert).paths = vec![vec![0, 1, 4, 5]; 9];
+    let v = verify(&cert);
+    assert!(!v.accepted);
+    assert!(v.has_code("MMIO-V012"), "{:?}", v.rejections);
+    assert!(v.has_code("MMIO-V013"), "{:?}", v.rejections);
+}
+
+#[test]
+fn compute_of_an_input_rejects_with_v024() {
+    // Replay the legal unit schedule but compute vertex 0 (an input)
+    // instead of loading it.
+    let mut cert = fixtures::unit_schedule();
+    let p = schedule_mut(&mut cert);
+    assert_eq!(&p.ops[..1], "L");
+    assert_eq!(p.vertices[0], 0);
+    p.ops.replace_range(..1, "C");
+    let v = verify(&cert);
+    assert!(!v.accepted);
+    assert!(v.has_code("MMIO-V024"), "{:?}", v.rejections);
+}
+
+#[test]
+fn hostile_json_yields_a_renderable_verdict_not_a_panic() {
+    for bad in [
+        "",
+        "not json at all",
+        "[1,2,3]",
+        "{}",
+        r#"{"version":1,"kind":"routing"}"#,
+        r#"{"version":1,"kind":"routing","base":null,"payload":{}}"#,
+        "{\"version\":1,\"kind\":\"routing\",\"base\":\"\u{0000}\"}",
+    ] {
+        let v = verify_json(bad);
+        assert!(!v.accepted, "{bad:?} must be rejected");
+        assert!(!v.rejections.is_empty(), "{bad:?}: rejected with no code");
+        // The verdict itself must always render to one JSON document.
+        let rendered = v.to_json();
+        assert!(
+            rendered.contains("\"accepted\""),
+            "verdict render degraded: {rendered}"
+        );
+    }
+}

@@ -16,6 +16,9 @@
 //!                                   emit proof-carrying certificates
 //! mmio cert verify <files|DIR...> [--json]
 //!                                   verify certificates (standalone verifier)
+//! mmio audit [--json] [--baseline FILE]
+//!                                   whole-workspace static soundness audit
+//! mmio codes                        merged diagnostic-code registry
 //! ```
 //!
 //! `<algo>` is a built-in name (`mmio list`) or a path to a JSON base-graph
@@ -67,7 +70,9 @@ fn print_usage() {
          cert     emit <algo|all> [r] [--out DIR] [--json]\n  \
          cert     verify <files|DIR...> [--json]\n  \
          serve    --socket PATH [--cache DIR] [--workers N] \
-         [--queue-cap N] [--deadline-ms N]"
+         [--queue-cap N] [--deadline-ms N]\n  \
+         audit    [--json] [--baseline FILE]\n  \
+         codes"
     );
 }
 
@@ -715,6 +720,43 @@ fn run() -> Result<ExitCode, CliError> {
                 .map_err(|e| CliError::io(&socket, e))?;
             eprintln!("mmio serve: listening on {socket}");
             server.run().map_err(|e| CliError::io(&socket, e))?;
+        }
+        "audit" => {
+            let json = args.iter().any(|a| a == "--json");
+            let baseline = args
+                .iter()
+                .position(|a| a == "--baseline")
+                .map(|i| {
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or_else(|| CliError::Usage("--baseline needs a FILE".to_string()))
+                })
+                .transpose()?
+                .map(std::path::PathBuf::from);
+            let cwd = std::env::current_dir().map_err(|e| CliError::io(".", e))?;
+            let root = mmio_audit::find_workspace_root(&cwd)
+                .ok_or_else(|| CliError::io(cwd.display(), "no workspace Cargo.toml above"))?;
+            let opts = mmio_audit::AuditOptions { baseline };
+            let outcome = mmio_audit::audit_workspace(&root, &opts)
+                .map_err(|e| CliError::io(root.display(), e))?;
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&outcome).expect("serializable")
+                );
+            } else {
+                print!("{}", outcome.to_text());
+            }
+            if outcome.has_errors() {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        "codes" => {
+            for (crate_name, table) in mmio_analyze::codes::all_tables() {
+                for (code, desc) in table {
+                    println!("{code:<12} {crate_name:<14} {desc}");
+                }
+            }
         }
         _ => return Err(CliError::Usage(format!("unknown command '{cmd}'"))),
     }

@@ -43,6 +43,7 @@ impl Rational {
     /// # Panics
     /// Panics if `den == 0`.
     pub fn new(num: i64, den: i64) -> Rational {
+        // audit: safe — documented programming-error guard; verify-path callers (checked_add/checked_mul) derive denominators from canonical rationals, which keep den > 0 as a type invariant
         assert!(den != 0, "rational with zero denominator");
         if num == 0 {
             return Rational::ZERO;

@@ -294,10 +294,15 @@ impl Engine {
                 .collect();
             fields.push(("cache_diags".to_string(), Value::Array(diags)));
         }
-        format!(
-            "{}\n",
-            serde_json::to_string_pretty(&Value::Object(fields)).expect("serializable")
-        )
+        let body = serde_json::to_string_pretty(&Value::Object(fields)).unwrap_or_else(|e| {
+            // Stats are advisory; a render failure degrades to a typed
+            // error object rather than panicking the request path.
+            format!(
+                "{{\"error\":\"stats render failed: {}\"}}",
+                e.to_string().replace(['"', '\\'], "?")
+            )
+        });
+        format!("{body}\n")
     }
 
     /// Engine counters (tests and the harness read these directly).

@@ -114,12 +114,7 @@ pub fn analyze_target(base: &BaseGraph, r: u32) -> (mmio_analyze::Report, serde_
     let gk = build_cdag(base, routing_k);
     let routing_audit = match InOutRouting::new(&gk) {
         None => {
-            report.push(
-                "MMIO-R003",
-                mmio_analyze::Severity::Error,
-                mmio_analyze::Span::Global,
-                "no n₀-capacity Hall matching: the Routing Theorem's hypotheses fail",
-            );
+            mmio_analyze::report_routing_infeasible(&mut report);
             None
         }
         Some(routing) => {

@@ -195,7 +195,16 @@ impl Response {
         if let Some(e) = &self.error {
             fields.push(("error".to_string(), Value::Str(e.clone())));
         }
-        serde_json::to_string(&Value::Object(fields)).expect("response serializes")
+        serde_json::to_string(&Value::Object(fields)).unwrap_or_else(|e| {
+            // A response that cannot render must still answer: degrade
+            // to a minimal hand-built error line instead of panicking
+            // the protocol layer.
+            format!(
+                "{{\"id\":{},\"status\":\"error\",\"error\":\"response render failed: {}\"}}",
+                self.id,
+                e.to_string().replace(['"', '\\'], "?")
+            )
+        })
     }
 
     /// Parses a response line (used by clients and the harness).
@@ -512,5 +521,30 @@ mod tests {
             !ok.to_line().contains('\n'),
             "payload newlines must be escaped"
         );
+    }
+
+    #[test]
+    fn hostile_strings_still_render_one_parseable_line() {
+        // The wire-encode trust path must answer for any content the
+        // ops layer hands it — quotes, backslashes, control bytes, and
+        // invalid-UTF-16 escapes included.
+        for hostile in [
+            "quote \" backslash \\ done",
+            "control \u{0000}\u{0001}\u{001f} bytes",
+            "unicode \u{2014} and emoji \u{1F980}",
+            "{\"looks\":\"like json\"}",
+        ] {
+            let resp = Response::fail(
+                9,
+                Status::Error,
+                crate::codes::SERVE_JOB_PANIC,
+                hostile.to_string(),
+            );
+            let line = resp.to_line();
+            assert!(!line.contains('\n'), "{hostile:?} leaked a newline");
+            let back = Response::from_line(&line)
+                .unwrap_or_else(|e| panic!("{hostile:?}: line unparseable: {e}"));
+            assert_eq!(back.error.as_deref(), Some(hostile));
+        }
     }
 }
