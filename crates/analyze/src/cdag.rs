@@ -337,4 +337,29 @@ mod tests {
         lint_facts(&f, &mut report);
         assert!(report.has_code(codes::CDAG_RANK_MISMATCH));
     }
+
+    #[test]
+    fn unreachable_vertex_detected() {
+        let mut f = chain();
+        // Cut in → mid (both directions): mid and out still form a valid
+        // DAG but no input reaches them.
+        f.preds[1].clear();
+        f.succs[0].clear();
+        let mut report = Report::new();
+        lint_facts(&f, &mut report);
+        assert!(report.has_code(codes::CDAG_UNREACHABLE));
+    }
+
+    #[test]
+    fn trivial_encoding_fires_lemma1_warning() {
+        // classical(2) takes no linear combinations, so Lemma 1's
+        // hypothesis fails and the base lint must say so.
+        let mut report = Report::new();
+        lint_base(&mmio_algos::classical::classical(2), &mut report);
+        assert!(report.has_code(codes::CDAG_LEMMA1));
+        // A base that does combine rows stays clean of that warning.
+        let mut clean = Report::new();
+        lint_base(&mmio_algos::strassen::strassen(), &mut clean);
+        assert!(!clean.has_code(codes::CDAG_LEMMA1));
+    }
 }

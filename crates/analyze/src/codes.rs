@@ -95,6 +95,14 @@ pub const DIST_ASSIGNMENT: &str = "MMIO-D003";
 pub const DIST_OVER_CAPACITY: &str = "MMIO-D004";
 /// A receive event has no outstanding matching send.
 pub const DIST_UNMATCHED_RECV: &str = "MMIO-D005";
+/// Contention conservation violated: the claimed per-round words, link
+/// occupancy, hop totals, or per-rank/per-link load maxima disagree with
+/// a recount of the event stream routed over the claimed topology.
+pub const DIST_LINK_CONSERVATION: &str = "MMIO-D006";
+/// The claimed per-round contended times or the makespan disagree with
+/// the α-β-γ formula applied to the recounted loads (or the model's
+/// inverse bandwidth is 0, voiding the makespan ≥ critical-path bound).
+pub const DIST_MAKESPAN: &str = "MMIO-D007";
 
 /// A request line failed to parse or validate (not JSON, unknown op,
 /// wrong field types, out-of-range parameters, unknown algorithm).
@@ -229,6 +237,14 @@ pub const TABLE: &[(&str, &str)] = &[
     ),
     (DIST_OVER_CAPACITY, "local cache occupancy exceeds M"),
     (DIST_UNMATCHED_RECV, "receive without a matching send"),
+    (
+        DIST_LINK_CONSERVATION,
+        "per-round link occupancy diverges from routed sends",
+    ),
+    (
+        DIST_MAKESPAN,
+        "contended round times or makespan diverge from the α-β-γ formula",
+    ),
     (SERVE_BAD_REQUEST, "malformed or invalid request line"),
     (
         SERVE_SNAPSHOT_UNPARSEABLE,

@@ -20,13 +20,23 @@
 //! - **`MMIO-D004`** capacity: no cache ever holds more than `M` values,
 //!   and evict/insert events stay consistent with cache membership;
 //! - **`MMIO-D005`** matching: every receive pairs with an outstanding
-//!   send of the same value on the same channel.
+//!   send of the same value on the same channel;
+//! - **`MMIO-D006`** contention conservation (contended traces only):
+//!   per-round words, link occupancy (every send re-routed over the
+//!   claimed topology), hop totals, and per-rank/per-link load maxima
+//!   recounted from the event stream match the claimed [`RoundLoad`]s —
+//!   in particular Σ link loads per round equals the routed hop·words of
+//!   that round's sends;
+//! - **`MMIO-D007`** makespan: every claimed round time and the total
+//!   makespan match the α-β-γ formula applied to the *recounted* loads,
+//!   and the model keeps `β ≥ 1` (the makespan ≥ critical-path
+//!   contract).
 
 use crate::codes;
 use crate::diag::{Report, Severity, Span};
 use mmio_cdag::{Cdag, VertexId};
 use mmio_parallel::assign::Assignment;
-use mmio_parallel::distsim::{DistEvent, DistTrace};
+use mmio_parallel::distsim::{round_time, ContentionReport, DistEvent, DistTrace, RoundLoad};
 use std::collections::HashMap;
 
 /// Counters from one distsim audit (alongside the diagnostics pushed into
@@ -284,8 +294,179 @@ pub fn audit_dist_trace(
         }
     }
 
+    if let Some(c) = &trace.contention {
+        audit_contention(g, trace, c, report);
+    }
+
     audit.ok = report.error_count() == before;
     audit
+}
+
+/// Re-derives the contended per-round loads from the event stream —
+/// every send re-routed over the claimed topology, every exec
+/// re-bucketed by its vertex's CDAG rank — and checks the claimed
+/// [`RoundLoad`] table, round times, and makespan against the recount.
+fn audit_contention(g: &Cdag, trace: &DistTrace, c: &ContentionReport, report: &mut Report) {
+    let mm = c.machine;
+    if mm.beta == 0 {
+        report.push(
+            codes::DIST_MAKESPAN,
+            Severity::Error,
+            Span::Global,
+            "machine model claims inverse bandwidth β = 0; the makespan ≥ \
+             critical-path-words contract needs β ≥ 1"
+                .to_string(),
+        );
+    }
+    if let Err(e) = mm.topo.validate(trace.p) {
+        report.push(
+            codes::DIST_LINK_CONSERVATION,
+            Severity::Error,
+            Span::Global,
+            format!("claimed topology does not fit {} ranks: {e}", trace.p),
+        );
+        return;
+    }
+    let rounds = 2 * g.r() as usize + 2;
+    if c.rounds.len() != rounds {
+        report.push(
+            codes::DIST_LINK_CONSERVATION,
+            Severity::Error,
+            Span::Global,
+            format!(
+                "contention table has {} rounds, CDAG has ranks 0..={}",
+                c.rounds.len(),
+                rounds - 1
+            ),
+        );
+        return;
+    }
+
+    // Recount from nothing: route every send, bucket every exec.
+    let p = trace.p as usize;
+    let n = g.n_vertices();
+    let n_links = mm.topo.n_links(trace.p);
+    let mut words = vec![0u64; rounds];
+    let mut hop_words = vec![0u64; rounds];
+    let mut max_hops = vec![0u64; rounds];
+    let mut rank_words = vec![0u64; rounds * p];
+    let mut execs = vec![0u64; rounds * p];
+    let mut link_words = vec![0u64; rounds * n_links];
+    let mut route = Vec::new();
+    for &e in &trace.events {
+        match e {
+            DistEvent::Send { from, to, v } => {
+                if (v as usize) >= n || (from as usize) >= p || (to as usize) >= p {
+                    continue; // already reported by the replay above
+                }
+                let round = g.rank(VertexId(v)) as usize;
+                words[round] += 1;
+                rank_words[round * p + from as usize] += 1;
+                rank_words[round * p + to as usize] += 1;
+                let h = mm.topo.hops(trace.p, from, to);
+                hop_words[round] += h;
+                max_hops[round] = max_hops[round].max(h);
+                mm.topo.route_into(trace.p, from, to, &mut route);
+                for &link in &route {
+                    link_words[round * n_links + link as usize] += 1;
+                }
+            }
+            DistEvent::Exec { proc, v } => {
+                if (v as usize) >= n || (proc as usize) >= p {
+                    continue;
+                }
+                execs[g.rank(VertexId(v)) as usize * p + proc as usize] += 1;
+            }
+            _ => {}
+        }
+    }
+
+    let mut makespan = 0u64;
+    for (r, claimed) in c.rounds.iter().enumerate() {
+        let got = RoundLoad {
+            round: r as u32,
+            words: words[r],
+            hop_words: hop_words[r],
+            max_hops: max_hops[r],
+            max_link_words: link_words[r * n_links..(r + 1) * n_links]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
+            max_rank_words: rank_words[r * p..(r + 1) * p]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0),
+            max_execs: execs[r * p..(r + 1) * p].iter().copied().max().unwrap_or(0),
+            time: 0,
+        };
+        // Per-round link-occupancy conservation against the claims. The
+        // recounted Σ link loads equals `got.hop_words` by construction,
+        // so checking hop_words pins the claimed occupancy to the routed
+        // sends of this round.
+        let fields: [(&str, u64, u64); 6] = [
+            ("words", got.words, claimed.words),
+            (
+                "hop_words (link occupancy)",
+                got.hop_words,
+                claimed.hop_words,
+            ),
+            ("max_hops", got.max_hops, claimed.max_hops),
+            ("max_link_words", got.max_link_words, claimed.max_link_words),
+            ("max_rank_words", got.max_rank_words, claimed.max_rank_words),
+            ("max_execs", got.max_execs, claimed.max_execs),
+        ];
+        for (what, recounted, claim) in fields {
+            if recounted != claim {
+                report.push(
+                    codes::DIST_LINK_CONSERVATION,
+                    Severity::Error,
+                    Span::Step(r),
+                    format!("round {r} {what}: recounted {recounted}, run claims {claim}"),
+                );
+            }
+        }
+        if claimed.round != r as u32 {
+            report.push(
+                codes::DIST_LINK_CONSERVATION,
+                Severity::Error,
+                Span::Step(r),
+                format!("round entry {r} labels itself round {}", claimed.round),
+            );
+        }
+        let time = round_time(
+            &mm,
+            got.max_execs,
+            got.max_hops,
+            got.max_link_words,
+            got.max_rank_words,
+        );
+        if time != claimed.time {
+            report.push(
+                codes::DIST_MAKESPAN,
+                Severity::Error,
+                Span::Step(r),
+                format!(
+                    "round {r} time: α-β-γ formula on recounted loads gives {time}, \
+                     run claims {}",
+                    claimed.time
+                ),
+            );
+        }
+        makespan += time;
+    }
+    if makespan != c.makespan {
+        report.push(
+            codes::DIST_MAKESPAN,
+            Severity::Error,
+            Span::Global,
+            format!(
+                "makespan: recounted round times sum to {makespan}, run claims {}",
+                c.makespan
+            ),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -294,7 +475,8 @@ mod tests {
     use mmio_algos::strassen::strassen;
     use mmio_cdag::build::build_cdag;
     use mmio_parallel::assign::{by_top_subproblem, cyclic_per_rank};
-    use mmio_parallel::distsim::simulate_traced;
+    use mmio_parallel::distsim::{simulate_traced, simulate_traced_on, MachineModel, Topology};
+    use mmio_parallel::Pool;
     use mmio_pebble::orders::recursive_order;
 
     fn traced(p: u32, m: usize) -> (Cdag, Assignment, DistTrace) {
@@ -387,5 +569,106 @@ mod tests {
         let mut report = Report::new();
         audit_dist_trace(&g, &a, &t, &mut report);
         assert!(report.has_code(codes::DIST_CONSERVATION));
+    }
+
+    #[test]
+    fn forged_early_send_fires_not_available() {
+        let (g, a, mut t) = traced(7, 16);
+        // Send a non-input vertex's value before anything computed it.
+        let v = g
+            .vertices()
+            .find(|&v| !g.preds(v).is_empty())
+            .expect("some compute")
+            .idx() as u32;
+        let from = a.of(VertexId(v));
+        t.events.insert(
+            0,
+            DistEvent::Send {
+                from,
+                to: (from + 1) % 7,
+                v,
+            },
+        );
+        let mut report = Report::new();
+        let audit = audit_dist_trace(&g, &a, &t, &mut report);
+        assert!(!audit.ok);
+        assert!(report.has_code(codes::DIST_NOT_AVAILABLE));
+    }
+
+    fn contended(topo: Topology) -> (Cdag, Assignment, DistTrace) {
+        let g = build_cdag(&strassen(), 2);
+        let order = recursive_order(&g);
+        let a = cyclic_per_rank(&g, 9);
+        let mm = MachineModel::new(topo, 2, 1, 1);
+        let t = simulate_traced_on(&g, &a, &order, 16, Some(mm), &Pool::serial());
+        (g, a, t)
+    }
+
+    #[test]
+    fn contended_runs_audit_clean_on_every_topology() {
+        for topo in [Topology::Full, Topology::Ring, Topology::Torus2d { q: 3 }] {
+            let (g, a, t) = contended(topo);
+            let mut report = Report::new();
+            let audit = audit_dist_trace(&g, &a, &t, &mut report);
+            assert!(audit.ok, "{topo:?}: {:?}", report.diagnostics);
+        }
+    }
+
+    #[test]
+    fn tampered_link_load_fires_link_conservation() {
+        let (g, a, mut t) = contended(Topology::Ring);
+        let c = t.contention.as_mut().expect("contended");
+        let row = c
+            .rounds
+            .iter_mut()
+            .find(|r| r.words > 0)
+            .expect("some communication");
+        row.max_link_words += 1;
+        let mut report = Report::new();
+        assert!(!audit_dist_trace(&g, &a, &t, &mut report).ok);
+        assert!(report.has_code(codes::DIST_LINK_CONSERVATION));
+    }
+
+    #[test]
+    fn tampered_hop_words_fires_link_conservation() {
+        let (g, a, mut t) = contended(Topology::Torus2d { q: 3 });
+        let c = t.contention.as_mut().expect("contended");
+        let row = c
+            .rounds
+            .iter_mut()
+            .find(|r| r.hop_words > 0)
+            .expect("some communication");
+        row.hop_words -= 1;
+        let mut report = Report::new();
+        assert!(!audit_dist_trace(&g, &a, &t, &mut report).ok);
+        assert!(report.has_code(codes::DIST_LINK_CONSERVATION));
+    }
+
+    #[test]
+    fn tampered_makespan_fires_makespan() {
+        let (g, a, mut t) = contended(Topology::Ring);
+        t.contention.as_mut().expect("contended").makespan += 1;
+        let mut report = Report::new();
+        assert!(!audit_dist_trace(&g, &a, &t, &mut report).ok);
+        assert!(report.has_code(codes::DIST_MAKESPAN));
+    }
+
+    #[test]
+    fn tampered_round_time_fires_makespan() {
+        let (g, a, mut t) = contended(Topology::Full);
+        let c = t.contention.as_mut().expect("contended");
+        c.rounds[2].time += 3;
+        let mut report = Report::new();
+        assert!(!audit_dist_trace(&g, &a, &t, &mut report).ok);
+        assert!(report.has_code(codes::DIST_MAKESPAN));
+    }
+
+    #[test]
+    fn zero_beta_claim_fires_makespan() {
+        let (g, a, mut t) = contended(Topology::Ring);
+        t.contention.as_mut().expect("contended").machine.beta = 0;
+        let mut report = Report::new();
+        assert!(!audit_dist_trace(&g, &a, &t, &mut report).ok);
+        assert!(report.has_code(codes::DIST_MAKESPAN));
     }
 }

@@ -309,4 +309,28 @@ mod tests {
         assert!(report.has_code(codes::SCHED_MISSING_OPERAND));
         assert_eq!(audit.first_violation, Some(3));
     }
+
+    #[test]
+    fn store_of_uncached_value_fires_not_resident() {
+        let g = tiny();
+        let mut s = valid(&g);
+        // Store an output that is not resident yet (nothing computed it).
+        s.actions
+            .insert(0, Action::Store(g.outputs().next().unwrap()));
+        let mut report = Report::new();
+        let audit = audit_schedule(&g, &s, 16, &mut report);
+        assert!(report.has_code(codes::SCHED_NOT_RESIDENT));
+        assert_eq!(audit.first_violation, Some(0));
+    }
+
+    #[test]
+    fn missing_compute_fires_not_computed() {
+        let g = tiny();
+        let mut s = valid(&g);
+        // Drop every action except the two loads: nothing gets computed.
+        s.actions.truncate(2);
+        let mut report = Report::new();
+        audit_schedule(&g, &s, 16, &mut report);
+        assert!(report.has_code(codes::SCHED_NOT_COMPUTED));
+    }
 }

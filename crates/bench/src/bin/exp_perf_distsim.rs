@@ -1,0 +1,329 @@
+//! P5 — the flat SoA distributed simulator against the dense reference,
+//! and strong scaling against the memory-independent bound.
+//!
+//! Three measurements, written to `BENCH_distsim.json` at the workspace
+//! root (the checked-in perf record; CI re-runs a reduced workload and
+//! uploads its own copy as an artifact), extending the perf trajectory of
+//! `BENCH_pebble.json` and `BENCH_implicit.json`:
+//!
+//! 1. **Equivalence contract**: `distsim::reference` vs the SoA engine —
+//!    claimed totals, per-rank counters, and the full event stream — over
+//!    a registry × depth × rank-count × assignment grid, plus serial vs
+//!    pooled SoA byte-identity under a contended ring model.
+//! 2. **Headline speedup**: on the largest instance both engines can run
+//!    (the reference holds O(P·V) state), min-of-3 wall clock of SoA
+//!    (pooled) vs reference; must exceed 10× outside smoke mode.
+//! 3. **Strong scaling**: untraced SoA runs on the implicit `IndexView`
+//!    at P = 64…4096 ranks on a 2D torus, recording per-rank
+//!    communication against the paper's memory-independent bound
+//!    `Ω(n²/P^{2/ω₀})` (BDHLS), the α-β-γ contended makespan, and the
+//!    detected perfect-strong-scaling range (the maximal prefix of the
+//!    P grid where `makespan·P` stays within 2× of its P₀ value).
+//!
+//! The binary exits nonzero on any reference/SoA or serial/parallel
+//! divergence. `MMIO_BENCH_SMOKE=1` runs a reduced workload (CI's
+//! bench-smoke job): smaller grids, same checks, same output schema.
+
+use mmio_cdag::build::build_cdag;
+use mmio_cdag::{Cdag, CdagView, IndexView};
+use mmio_core::theorem1::LowerBound;
+use mmio_parallel::assign::{
+    all_on_one, block_per_rank, by_top_subproblem, cyclic_per_rank, Assignment,
+};
+use mmio_parallel::distsim::{reference, simulate_on, simulate_traced_on, MachineModel, Topology};
+use mmio_parallel::Pool;
+use mmio_pebble::orders::recursive_order;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct HeadlineRecord {
+    r: u32,
+    p: u32,
+    m: usize,
+    vertices: usize,
+    total_words: u64,
+    reference_ms: f64,
+    soa_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct ScaleRecord {
+    p: u32,
+    total_words: u64,
+    critical_path_words: u64,
+    makespan: u64,
+    /// `n² / P^{2/ω₀}` — the memory-independent per-rank bandwidth bound.
+    bound: f64,
+    /// Observed per-rank communication over the bound.
+    bound_ratio: f64,
+    /// `makespan(P₀)·P₀ / (makespan(P)·P)`: 1.0 is perfect strong scaling.
+    scaling_efficiency: f64,
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct ScalePhase {
+    algo: &'static str,
+    r: u32,
+    n: u64,
+    vertices: usize,
+    assign: &'static str,
+    topology: String,
+    points: Vec<ScaleRecord>,
+    /// Largest P in the grid whose scaling efficiency is still ≥ 0.5
+    /// (with every smaller P also ≥ 0.5).
+    perfect_scaling_up_to: u32,
+}
+
+#[derive(Serialize)]
+struct BenchRecord {
+    experiment: &'static str,
+    host_cores: usize,
+    smoke: bool,
+    equivalence_instances: usize,
+    headline: HeadlineRecord,
+    scale: ScalePhase,
+    determinism: &'static str,
+}
+
+fn ms(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+fn strategies(g: &Cdag, p: u32) -> Vec<(&'static str, Assignment)> {
+    vec![
+        ("cyclic_per_rank", cyclic_per_rank(g, p)),
+        ("block_per_rank", block_per_rank(g, p)),
+        ("by_top_subproblem", by_top_subproblem(g, p)),
+        ("all_on_one", all_on_one(g, p)),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::var("MMIO_BENCH_SMOKE").map(|v| v == "1") == Ok(true);
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut determinism_ok = true;
+    let pool = Pool::from_env(None);
+
+    // --- 1. Equivalence contract -------------------------------------------
+    let bases = mmio_algos::registry::all_base_graphs();
+    let rs: std::ops::RangeInclusive<u32> = if smoke { 1..=1 } else { 1..=2 };
+    let ps: &[u32] = if smoke { &[4] } else { &[4, 7, 16] };
+    let mut equivalence_instances = 0usize;
+    for base in &bases {
+        mmio_bench::preflight(base);
+        for r in rs.clone() {
+            let g = build_cdag(base, r);
+            let order = recursive_order(&g);
+            let need = g.max_indegree() + 1;
+            let m = need.max(16);
+            for &p in ps {
+                for (name, a) in strategies(&g, p) {
+                    let ctx = format!("{} r={r} p={p} {name}", base.name());
+                    let mm = Some(MachineModel::new(Topology::Ring, 2, 1, 1));
+                    let fast = simulate_traced_on(&g, &a, &order, m, mm, &Pool::serial());
+                    let slow = reference::simulate_traced(&g, &a, &order, m);
+                    if fast.claimed != slow.claimed
+                        || fast.sent != slow.sent
+                        || fast.received != slow.received
+                        || fast.events != slow.events
+                    {
+                        eprintln!("DIVERGENCE: SoA vs reference at {ctx}");
+                        determinism_ok = false;
+                    }
+                    let pooled = simulate_traced_on(&g, &a, &order, m, mm, &pool);
+                    if pooled.claimed != fast.claimed
+                        || pooled.events != fast.events
+                        || pooled.contention != fast.contention
+                    {
+                        eprintln!("DIVERGENCE: pooled vs serial SoA at {ctx}");
+                        determinism_ok = false;
+                    }
+                    equivalence_instances += 1;
+                }
+            }
+        }
+    }
+    println!(
+        "P5a: equivalence contract — {equivalence_instances} instances \
+         (totals + per-rank counters + event streams + contended rounds): {}",
+        if determinism_ok {
+            "identical"
+        } else {
+            "DIVERGED"
+        }
+    );
+
+    // --- 2. Headline speedup -----------------------------------------------
+    let strassen = mmio_algos::strassen::strassen();
+    let (head_r, head_p) = if smoke { (3u32, 64u32) } else { (4, 512) };
+    let g = build_cdag(&strassen, head_r);
+    let order = recursive_order(&g);
+    let need = g.max_indegree() + 1;
+    let head_m = need.max(64);
+    let a = cyclic_per_rank(&g, head_p);
+    let iters = 3;
+    let mut reference_ms = f64::INFINITY;
+    let mut ref_run = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let run = reference::simulate(&g, &a, &order, head_m);
+        reference_ms = reference_ms.min(ms(t));
+        ref_run = Some(run);
+    }
+    let mut soa_ms = f64::INFINITY;
+    let mut soa_run = None;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let out = simulate_on(&g, &a, &order, head_m, None, &pool);
+        soa_ms = soa_ms.min(ms(t));
+        soa_run = Some(out.run);
+    }
+    let ref_run = ref_run.unwrap();
+    let soa_run = soa_run.unwrap();
+    if soa_run != ref_run {
+        eprintln!("DIVERGENCE: headline totals differ: {soa_run:?} vs {ref_run:?}");
+        determinism_ok = false;
+    }
+    let speedup = reference_ms / soa_ms;
+    println!(
+        "\nP5b: headline — strassen r={head_r}, P={head_p}, M={head_m} \
+         ({} vertices): reference {reference_ms:.2} ms, SoA {soa_ms:.2} ms \
+         ({speedup:.2}x, {} threads)",
+        g.n_vertices(),
+        pool.threads()
+    );
+    let headline = HeadlineRecord {
+        r: head_r,
+        p: head_p,
+        m: head_m,
+        vertices: g.n_vertices(),
+        total_words: soa_run.total_words,
+        reference_ms,
+        soa_ms,
+        speedup,
+    };
+
+    // --- 3. Strong scaling on the implicit view -----------------------------
+    let scale_r = if smoke { 3u32 } else { 5 };
+    let p_grid: &[u32] = if smoke {
+        &[64, 256]
+    } else {
+        &[64, 256, 1024, 4096]
+    };
+    let view = IndexView::from_base(&strassen, scale_r);
+    let order = recursive_order(&view);
+    let need = view.max_indegree() + 1;
+    let m = need.max(16);
+    let n = mmio_cdag::index::pow(strassen.n0(), scale_r);
+    let lb = LowerBound::new(&strassen);
+    println!(
+        "\nP5c: strong scaling — strassen r={scale_r} (n={n}, {} vertices), \
+         cyclic assignment, 2D torus, α=1 β=1 γ=1\n",
+        view.n_vertices()
+    );
+    println!(
+        "{:>6} | {:>12} {:>12} {:>12} | {:>10} {:>8} | {:>8} {:>9}",
+        "P", "words", "crit path", "makespan", "Ω bound", "ratio", "eff", "wall ms"
+    );
+    let mut points: Vec<ScaleRecord> = Vec::new();
+    let mut base_makespan_p = 0f64;
+    let mut topology = String::new();
+    for &p in p_grid {
+        let a = cyclic_per_rank(&view, p);
+        let topo = Topology::parse("torus", p).expect("square P grid");
+        if topology.is_empty() {
+            topology = format!("{topo:?}");
+        }
+        let mm = Some(MachineModel::new(topo, 1, 1, 1));
+        let t = Instant::now();
+        let out = simulate_on(&view, &a, &order, m, mm, &pool);
+        let wall_ms = ms(t);
+        let c = out.contention.expect("machine model attached");
+        let bound = lb.memory_independent_bandwidth(n, p as u64);
+        let bound_ratio = out.run.critical_path_words as f64 / bound;
+        if base_makespan_p == 0.0 {
+            base_makespan_p = c.makespan as f64 * p_grid[0] as f64;
+        }
+        let scaling_efficiency = base_makespan_p / (c.makespan as f64 * p as f64);
+        println!(
+            "{:>6} | {:>12} {:>12} {:>12} | {:>10.1} {:>7.1}x | {:>8.3} {:>9.1}",
+            p,
+            out.run.total_words,
+            out.run.critical_path_words,
+            c.makespan,
+            bound,
+            bound_ratio,
+            scaling_efficiency,
+            wall_ms
+        );
+        points.push(ScaleRecord {
+            p,
+            total_words: out.run.total_words,
+            critical_path_words: out.run.critical_path_words,
+            makespan: c.makespan,
+            bound,
+            bound_ratio,
+            scaling_efficiency,
+            wall_ms,
+        });
+    }
+    let perfect_scaling_up_to = points
+        .iter()
+        .take_while(|pt| pt.scaling_efficiency >= 0.5)
+        .map(|pt| pt.p)
+        .last()
+        .unwrap_or(0);
+    println!("\nperfect strong scaling (efficiency ≥ 0.5) holds up to P = {perfect_scaling_up_to}");
+    let scale = ScalePhase {
+        algo: "strassen",
+        r: scale_r,
+        n,
+        vertices: CdagView::n_vertices(&view),
+        assign: "cyclic_per_rank",
+        topology,
+        points,
+        perfect_scaling_up_to,
+    };
+
+    // --- Record -------------------------------------------------------------
+    let record = BenchRecord {
+        experiment: "perf_distsim",
+        host_cores,
+        smoke,
+        equivalence_instances,
+        headline,
+        scale,
+        determinism: if determinism_ok {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+    };
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_distsim.json");
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&record).expect("serializable"),
+    )
+    .expect("write BENCH_distsim.json");
+    println!("\nwrote {}", path.display());
+
+    assert!(
+        determinism_ok,
+        "reference/SoA or serial/parallel check diverged (see stderr)"
+    );
+    if !smoke {
+        assert!(
+            speedup >= 10.0,
+            "SoA engine must be ≥10x over the reference on the largest shared \
+             instance (got {speedup:.2}x)"
+        );
+    }
+}

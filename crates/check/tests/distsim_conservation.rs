@@ -11,7 +11,10 @@ use mmio_cdag::Cdag;
 use mmio_parallel::assign::{
     all_on_one, block_per_rank, by_top_subproblem, cyclic_per_rank, Assignment,
 };
-use mmio_parallel::distsim::{simulate, simulate_traced};
+use mmio_parallel::distsim::{
+    reference, simulate, simulate_traced, simulate_traced_on, MachineModel, Topology,
+};
+use mmio_parallel::Pool;
 use mmio_pebble::orders::recursive_order;
 
 fn strategies(g: &Cdag, p: u32) -> Vec<(&'static str, Assignment)> {
@@ -61,6 +64,79 @@ fn words_are_conserved_across_all_strategies_and_graphs() {
 
                 // Traced and untraced simulation agree exactly.
                 assert_eq!(t.claimed, simulate(&g, &a, &order, m), "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn soa_engine_matches_reference_on_registry() {
+    // The exact-equivalence contract of the two engines: identical totals,
+    // per-rank counters, and event streams, on every registry graph at
+    // r ≤ 2 under every assignment strategy.
+    for base in all_base_graphs() {
+        for r in 1..=2u32 {
+            let g = build_cdag(&base, r);
+            let order = recursive_order(&g);
+            let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
+            let m = need.max(16);
+            for (name, a) in strategies(&g, 4) {
+                let ctx = format!("{} r={r} {name}", base.name());
+                let fast = simulate_traced(&g, &a, &order, m);
+                let slow = reference::simulate_traced(&g, &a, &order, m);
+                assert_eq!(fast.claimed, slow.claimed, "{ctx}");
+                assert_eq!(fast.sent, slow.sent, "{ctx}");
+                assert_eq!(fast.received, slow.received, "{ctx}");
+                assert_eq!(fast.events, slow.events, "{ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn contended_runs_audit_clean_across_topologies() {
+    // Topology sweep: a machine model must not change the paper's word
+    // counts, its makespan must dominate the uncontended critical path
+    // (β = 1), and the analyzer's link-conservation and makespan recounts
+    // (MMIO-D006/D007) must confirm every claimed round table — serial
+    // and pooled runs byte-identical.
+    let topologies = [
+        ("full", Topology::Full),
+        ("ring", Topology::Ring),
+        ("torus", Topology::Torus2d { q: 2 }),
+    ];
+    for base in all_base_graphs() {
+        for r in 1..=2u32 {
+            let g = build_cdag(&base, r);
+            let order = recursive_order(&g);
+            let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
+            let m = need.max(16);
+            for (name, a) in strategies(&g, 4) {
+                let plain = simulate(&g, &a, &order, m);
+                for (tname, topo) in topologies {
+                    let ctx = format!("{} r={r} {name} {tname}", base.name());
+                    let mm = Some(MachineModel::new(topo, 2, 1, 1));
+                    let t = simulate_traced_on(&g, &a, &order, m, mm, &Pool::serial());
+                    assert_eq!(t.claimed, plain, "{ctx}: contention changed counts");
+                    let c = t.contention.as_ref().expect("contended");
+                    assert!(
+                        c.makespan >= plain.critical_path_words,
+                        "{ctx}: makespan {} < critical path {}",
+                        c.makespan,
+                        plain.critical_path_words
+                    );
+                    let mut report = Report::new();
+                    let audit = audit_dist_trace(&g, &a, &t, &mut report);
+                    assert!(
+                        audit.ok && !report.has_errors(),
+                        "{ctx}: {:?}",
+                        report.diagnostics
+                    );
+                    let pooled = simulate_traced_on(&g, &a, &order, m, mm, &Pool::new(4));
+                    assert_eq!(pooled.claimed, t.claimed, "{ctx}");
+                    assert_eq!(pooled.events, t.events, "{ctx}");
+                    assert_eq!(pooled.contention, t.contention, "{ctx}");
+                }
             }
         }
     }

@@ -18,6 +18,9 @@
 //!                                   verify certificates (standalone verifier)
 //! mmio audit [--json] [--baseline FILE]
 //!                                   whole-workspace static soundness audit
+//! mmio distsim <algo> <k> [--procs P] [--mem M] [--assign S] [--topo T] [--json]
+//!                                   P-processor distributed simulation
+//!                                   (optionally α-β-γ contended on T)
 //! mmio codes                        merged diagnostic-code registry
 //! ```
 //!
@@ -72,6 +75,8 @@ fn print_usage() {
          serve    --socket PATH [--cache DIR] [--workers N] \
          [--queue-cap N] [--deadline-ms N]\n  \
          audit    [--json] [--baseline FILE]\n  \
+         distsim  <algo> <k> [--procs P] [--mem M] \
+         [--assign cyclic|block|subtree|one] [--topo full|ring|torus] [--json]\n  \
          codes"
     );
 }
@@ -251,6 +256,42 @@ fn emit_certs_for(
         emit_sweep_certificate(&g, &PolicySpec::Lru, &points),
     ));
     out
+}
+
+/// Builds the named assignment strategy and runs the distributed
+/// simulation on `g` — generic over the view so `mmio distsim` scales to
+/// implicit instances whose `G_r` never fits in memory. Returns the
+/// outcome together with the resolved cache size.
+fn run_distsim<V: mmio_cdag::CdagView + Sync>(
+    g: &V,
+    p: u32,
+    mem: Option<usize>,
+    assign: &str,
+    machine: Option<mmio_parallel::distsim::MachineModel>,
+    pool: &Pool,
+) -> Result<(mmio_parallel::distsim::DistOutcome, usize), CliError> {
+    use mmio_parallel::assign;
+    let a = match assign {
+        "cyclic" => assign::cyclic_per_rank(g, p),
+        "block" => assign::block_per_rank(g, p),
+        "subtree" => assign::by_top_subproblem(g, p),
+        "one" => assign::all_on_one(g, p),
+        other => {
+            return Err(CliError::Usage(format!(
+                "invalid --assign '{other}' (cyclic|block|subtree|one)"
+            )))
+        }
+    };
+    let need = g.max_indegree() + 1;
+    let m = mem.unwrap_or_else(|| need.max(16));
+    if m < need {
+        return Err(CliError::Usage(format!(
+            "--mem {m} cannot hold an operand set (need ≥ {need})"
+        )));
+    }
+    let order = recursive_order(g);
+    let outcome = mmio_parallel::distsim::simulate_on(g, &a, &order, m, machine, pool);
+    Ok((outcome, m))
 }
 
 /// Expands `mmio cert verify` operands: directories become their sorted
@@ -749,6 +790,95 @@ fn run() -> Result<ExitCode, CliError> {
             }
             if outcome.has_errors() {
                 return Ok(ExitCode::FAILURE);
+            }
+        }
+        "distsim" => {
+            use mmio_parallel::distsim::{MachineModel, Topology};
+            let base = resolve(args.get(1).ok_or("missing algorithm")?)?;
+            let k: u32 = parse(args.get(2), "k")?;
+            let json = args.iter().any(|a| a == "--json");
+            let flag_value = |name: &str| -> Option<&String> {
+                args.iter()
+                    .position(|a| a == name)
+                    .and_then(|i| args.get(i + 1))
+            };
+            let p: u32 = match flag_value("--procs") {
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| format!("invalid --procs value '{v}'"))?,
+                None => 4,
+            };
+            if p == 0 {
+                return Err("--procs must be ≥ 1".into());
+            }
+            let mem: Option<usize> = match flag_value("--mem") {
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid --mem value '{v}'"))?,
+                ),
+                None => None,
+            };
+            let assign_name = flag_value("--assign")
+                .map(String::as_str)
+                .unwrap_or("cyclic");
+            let machine = match flag_value("--topo") {
+                None => None,
+                Some(t) => Some(MachineModel::new(
+                    Topology::parse(t, p).map_err(CliError::Usage)?,
+                    1,
+                    1,
+                    1,
+                )),
+            };
+            // Both views run the identical SoA engine on identical
+            // (preds, order) data, so the output is byte-equal.
+            let (outcome, m) = if use_implicit(view, &base, k) {
+                let v = IndexView::from_base(&base, k);
+                run_distsim(&v, p, mem, assign_name, machine, &pool)?
+            } else {
+                let g = build_cdag(&base, k);
+                run_distsim(&g, p, mem, assign_name, machine, &pool)?
+            };
+            if json {
+                let v = serde::Value::Object(vec![
+                    (
+                        "algo".to_string(),
+                        serde::Value::Str(base.name().to_string()),
+                    ),
+                    ("r".to_string(), serde::Value::UInt(k as u64)),
+                    ("procs".to_string(), serde::Value::UInt(p as u64)),
+                    ("mem".to_string(), serde::Value::UInt(m as u64)),
+                    (
+                        "assign".to_string(),
+                        serde::Value::Str(assign_name.to_string()),
+                    ),
+                    ("outcome".to_string(), serde::Serialize::to_value(&outcome)),
+                ]);
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&v).expect("serializable")
+                );
+            } else {
+                println!(
+                    "{} r={k} P={p} M={m} assign={assign_name}: {} words moved, \
+                     critical path {}, local I/O max {} / total {}",
+                    base.name(),
+                    outcome.run.total_words,
+                    outcome.run.critical_path_words,
+                    outcome.run.max_local_io,
+                    outcome.run.total_local_io
+                );
+                if let Some(c) = &outcome.contention {
+                    println!(
+                        "contended on {:?} (α={} β={} γ={}): makespan {} over {} round(s)",
+                        c.machine.topo,
+                        c.machine.alpha,
+                        c.machine.beta,
+                        c.machine.gamma,
+                        c.makespan,
+                        c.rounds.len()
+                    );
+                }
             }
         }
         "codes" => {

@@ -4,8 +4,15 @@
 //! balanced per rank* of the CDAG; assignments here either satisfy that
 //! hypothesis by construction (block/cyclic per rank) or deliberately
 //! violate it (owner-computes-all) to show the bound's hypothesis matters.
+//!
+//! Every constructor is generic over [`CdagView`], so assignments for
+//! implicit (closed-form `IndexView`) graphs at thousands of ranks cost
+//! O(V) time and memory with no materialized CDAG; on a concrete
+//! [`mmio_cdag::Cdag`] they produce exactly the same `proc_of` vector as
+//! the original eager implementations (vertices are visited in dense id
+//! order either way).
 
-use mmio_cdag::{Cdag, VertexId};
+use mmio_cdag::{CdagView, Layer, VertexId};
 use rand::Rng;
 
 /// An assignment of every vertex to a processor in `[p]`.
@@ -14,6 +21,11 @@ pub struct Assignment {
     pub proc_of: Vec<u32>,
     /// Number of processors.
     pub p: u32,
+}
+
+/// The paper's global rank of every vertex, `0..=2r+1`.
+fn rank_of<V: CdagView>(g: &V, v: VertexId) -> u32 {
+    g.rank_of(v).expect("vertex id in range")
 }
 
 impl Assignment {
@@ -25,19 +37,23 @@ impl Assignment {
     /// Checks per-rank load balance within a multiplicative `slack` of the
     /// ideal `rank_size/p` (ranks smaller than `p` are exempt — they cannot
     /// be balanced).
-    pub fn is_rank_balanced(&self, g: &Cdag, slack: f64) -> bool {
+    pub fn is_rank_balanced<V: CdagView>(&self, g: &V, slack: f64) -> bool {
         let max_rank = 2 * g.r() + 1;
-        for rank in 0..=max_rank {
-            let members: Vec<VertexId> = g.vertices().filter(|&v| g.rank(v) == rank).collect();
-            if members.len() < self.p as usize {
+        let mut members = vec![0u64; max_rank as usize + 1];
+        let mut per_proc = vec![0u64; (max_rank as usize + 1) * self.p as usize];
+        for i in 0..g.n_vertices() {
+            let v = VertexId(i as u32);
+            let rank = rank_of(g, v) as usize;
+            members[rank] += 1;
+            per_proc[rank * self.p as usize + self.of(v) as usize] += 1;
+        }
+        for rank in 0..=max_rank as usize {
+            if members[rank] < u64::from(self.p) {
                 continue;
             }
-            let mut per_proc = vec![0u64; self.p as usize];
-            for &v in &members {
-                per_proc[self.of(v) as usize] += 1;
-            }
-            let ideal = members.len() as f64 / self.p as f64;
-            if per_proc.iter().any(|&c| c as f64 > ideal * slack) {
+            let ideal = members[rank] as f64 / self.p as f64;
+            let row = &per_proc[rank * self.p as usize..(rank + 1) * self.p as usize];
+            if row.iter().any(|&c| c as f64 > ideal * slack) {
                 return false;
             }
         }
@@ -47,28 +63,36 @@ impl Assignment {
 
 /// Cyclic assignment within each rank: vertex `i` of a rank goes to
 /// processor `i mod p`. Perfectly rank-balanced.
-pub fn cyclic_per_rank(g: &Cdag, p: u32) -> Assignment {
+pub fn cyclic_per_rank<V: CdagView>(g: &V, p: u32) -> Assignment {
     let max_rank = 2 * g.r() + 1;
+    let mut seen = vec![0u32; max_rank as usize + 1];
     let mut proc_of = vec![0u32; g.n_vertices()];
-    for rank in 0..=max_rank {
-        for (i, v) in g.vertices().filter(|&v| g.rank(v) == rank).enumerate() {
-            proc_of[v.idx()] = (i as u32) % p;
-        }
+    for (i, slot) in proc_of.iter_mut().enumerate() {
+        let rank = rank_of(g, VertexId(i as u32)) as usize;
+        *slot = seen[rank] % p;
+        seen[rank] += 1;
     }
     Assignment { proc_of, p }
 }
 
 /// Contiguous block assignment within each rank (better locality than
 /// cyclic for recursive structures, still rank-balanced).
-pub fn block_per_rank(g: &Cdag, p: u32) -> Assignment {
+pub fn block_per_rank<V: CdagView>(g: &V, p: u32) -> Assignment {
     let max_rank = 2 * g.r() + 1;
+    let mut members = vec![0usize; max_rank as usize + 1];
+    for i in 0..g.n_vertices() {
+        members[rank_of(g, VertexId(i as u32)) as usize] += 1;
+    }
+    let chunk: Vec<usize> = members
+        .iter()
+        .map(|&n| n.div_ceil(p as usize).max(1))
+        .collect();
+    let mut seen = vec![0usize; max_rank as usize + 1];
     let mut proc_of = vec![0u32; g.n_vertices()];
-    for rank in 0..=max_rank {
-        let members: Vec<VertexId> = g.vertices().filter(|&v| g.rank(v) == rank).collect();
-        let chunk = members.len().div_ceil(p as usize).max(1);
-        for (i, v) in members.into_iter().enumerate() {
-            proc_of[v.idx()] = ((i / chunk) as u32).min(p - 1);
-        }
+    for (i, slot) in proc_of.iter_mut().enumerate() {
+        let rank = rank_of(g, VertexId(i as u32)) as usize;
+        *slot = ((seen[rank] / chunk[rank]) as u32).min(p - 1);
+        seen[rank] += 1;
     }
     Assignment { proc_of, p }
 }
@@ -77,23 +101,24 @@ pub fn block_per_rank(g: &Cdag, p: u32) -> Assignment {
 /// multiplication digit `t₁` goes to processor `t₁ mod p` (one BFS step of
 /// CAPS); the inputs/outputs (encoding rank 0, decoding rank `r`) stay
 /// cyclically distributed. Rank-balanced only in the middle when `p ≤ b`.
-pub fn by_top_subproblem(g: &Cdag, p: u32) -> Assignment {
-    let b = g.base().b();
+pub fn by_top_subproblem<V: CdagView>(g: &V, p: u32) -> Assignment {
+    let b = g.b();
+    let r = g.r();
     let mut proc_of = vec![0u32; g.n_vertices()];
-    for v in g.vertices() {
-        let vr = g.vref(v);
-        let top_digit = |mul: u64, len: u32| -> Option<u32> {
-            if len == 0 {
-                None
-            } else {
-                Some((mul / mmio_cdag::index::pow(b, len - 1)) as u32)
-            }
+    for (i, slot) in proc_of.iter_mut().enumerate() {
+        let v = VertexId(i as u32);
+        let vr = g.try_vref(v).expect("vertex id in range");
+        // Length of the packed `mul` prefix at (layer, level).
+        let len = match vr.layer {
+            Layer::EncA | Layer::EncB => vr.level,
+            Layer::Dec => r - vr.level,
         };
-        let len = g.mul_len(vr.layer, vr.level);
-        proc_of[v.idx()] = match top_digit(vr.mul, len) {
-            Some(t1) => t1 % p,
+        *slot = if len == 0 {
             // Inputs of the whole problem / final outputs: spread cyclically.
-            None => v.0 % p,
+            v.0 % p
+        } else {
+            let t1 = (vr.mul / mmio_cdag::index::pow(b, len - 1)) as u32;
+            t1 % p
         };
     }
     Assignment { proc_of, p }
@@ -102,7 +127,7 @@ pub fn by_top_subproblem(g: &Cdag, p: u32) -> Assignment {
 /// Everything on processor 0 — the degenerate assignment (zero
 /// communication, maximally imbalanced). Violates the memory-independent
 /// bound's hypothesis; used to show that hypothesis is necessary.
-pub fn all_on_one(g: &Cdag, p: u32) -> Assignment {
+pub fn all_on_one<V: CdagView>(g: &V, p: u32) -> Assignment {
     Assignment {
         proc_of: vec![0; g.n_vertices()],
         p,
@@ -110,7 +135,7 @@ pub fn all_on_one(g: &Cdag, p: u32) -> Assignment {
 }
 
 /// Uniformly random assignment.
-pub fn random<R: Rng>(g: &Cdag, p: u32, rng: &mut R) -> Assignment {
+pub fn random<V: CdagView, R: Rng>(g: &V, p: u32, rng: &mut R) -> Assignment {
     Assignment {
         proc_of: (0..g.n_vertices()).map(|_| rng.gen_range(0..p)).collect(),
         p,
@@ -122,6 +147,7 @@ mod tests {
     use super::*;
     use mmio_algos::strassen::strassen;
     use mmio_cdag::build::build_cdag;
+    use mmio_cdag::IndexView;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -171,6 +197,22 @@ mod tests {
             let vr = g.vref(m);
             let t1 = (vr.mul / 7) as u32;
             assert_eq!(a.of(m), t1 % 7);
+        }
+    }
+
+    #[test]
+    fn implicit_view_matches_concrete_graph() {
+        // The CdagView-generic constructors must assign identically on the
+        // closed-form view and the materialized graph.
+        let base = strassen();
+        let g = build_cdag(&base, 2);
+        let view = IndexView::from_base(&base, 2);
+        for (ca, cb) in [
+            (cyclic_per_rank(&g, 5), cyclic_per_rank(&view, 5)),
+            (block_per_rank(&g, 5), block_per_rank(&view, 5)),
+            (by_top_subproblem(&g, 5), by_top_subproblem(&view, 5)),
+        ] {
+            assert_eq!(ca.proc_of, cb.proc_of);
         }
     }
 }

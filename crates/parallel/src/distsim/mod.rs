@@ -18,14 +18,35 @@
 //! words, the Theorem 1 parallel quantity) and per-processor local I/O
 //! (the sequential quantity, now divided across processors).
 //!
-//! [`simulate_traced`] additionally records the full machine-level event
-//! stream (cache evictions/insertions, sends, receives, executions) so
+//! Two engines implement this model:
+//!
+//! - the default flat structure-of-arrays engine ([`soa`], reached via
+//!   every public `simulate*` function): O(threads·min(M, work) + V)
+//!   state, `Pool`-parallel rank stepping, optional per-link contention
+//!   timing under a [`MachineModel`] — built for thousands of ranks;
+//! - [`reference`], the original dense O(P·V) engine, kept as the
+//!   equivalence oracle: on every instance both can run, totals *and*
+//!   the traced event stream are identical (enforced by the
+//!   conservation suite, proptests, and `exp_perf_distsim`).
+//!
+//! [`simulate_traced`] records the full machine-level event stream
+//! (cache evictions/insertions, sends, receives, executions) so
 //! `mmio-analyze` can re-verify a run by independent re-simulation —
 //! double-entry bookkeeping for the distributed machine, in the same
-//! spirit as its schedule and routing audits.
+//! spirit as its schedule and routing audits. With a machine model
+//! attached ([`simulate_traced_on`]), the trace also carries the claimed
+//! per-round contended loads for the analyzer's link-conservation and
+//! makespan recounts (`MMIO-D006`/`MMIO-D007`).
+
+pub mod reference;
+mod soa;
+pub mod topo;
+
+pub use topo::{round_time, ContentionReport, MachineModel, RoundLoad, Topology};
 
 use crate::assign::Assignment;
-use mmio_cdag::{Cdag, VertexId};
+use crate::pool::Pool;
+use mmio_cdag::{CdagView, VertexId};
 use serde::Serialize;
 
 /// Results of one distributed simulation.
@@ -107,149 +128,31 @@ pub struct DistTrace {
     pub received: Vec<u64>,
     /// Machine-level events in execution order.
     pub events: Vec<DistEvent>,
+    /// Claimed contended loads, when a machine model was attached.
+    pub contention: Option<ContentionReport>,
 }
 
-/// The mutable machine state of one simulation.
-struct Sim<'a> {
-    g: &'a Cdag,
-    m: usize,
-    in_cache: Vec<Vec<bool>>,
-    stamp: Vec<Vec<u64>>,
-    cache_members: Vec<Vec<VertexId>>,
-    clock: u64,
-    sent: Vec<u64>,
-    received: Vec<u64>,
-    local_io: Vec<u64>,
-    total_words: u64,
-    events: Option<Vec<DistEvent>>,
-}
-
-impl<'a> Sim<'a> {
-    fn new(g: &'a Cdag, p: usize, m: usize, traced: bool) -> Sim<'a> {
-        let need = g.vertices().map(|v| g.preds(v).len()).max().unwrap_or(0) + 1;
-        assert!(m >= need, "local cache {m} cannot hold operands ({need})");
-        let n = g.n_vertices();
-        Sim {
-            g,
-            m,
-            in_cache: vec![vec![false; n]; p],
-            stamp: vec![vec![0u64; n]; p],
-            cache_members: vec![Vec::new(); p],
-            clock: 0,
-            sent: vec![0; p],
-            received: vec![0; p],
-            local_io: vec![0; p],
-            total_words: 0,
-            events: traced.then(Vec::new),
-        }
-    }
-
-    fn push(&mut self, e: DistEvent) {
-        if let Some(ev) = &mut self.events {
-            ev.push(e);
-        }
-    }
-
-    /// Touches `v` in `proc`'s cache. On a miss: evicts the LRU entry if
-    /// full, accounts a network transfer when `from` names a different
-    /// owner, inserts `v`, and charges a local I/O iff `charge`.
-    ///
-    /// Event order on a miss: `Evict?`, `Send`+`Recv` (remote only),
-    /// `Insert` — i.e. the word is on the wire before it lands in cache.
-    fn touch(&mut self, proc: usize, v: VertexId, charge: bool, from: Option<usize>) {
-        self.clock += 1;
-        if self.in_cache[proc][v.idx()] {
-            self.stamp[proc][v.idx()] = self.clock;
-            return; // hit
-        }
-        // Miss: evict LRU if full.
-        if self.cache_members[proc].len() >= self.m {
-            let (pos, _) = self.cache_members[proc]
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| self.stamp[proc][w.idx()])
-                .expect("cache nonempty");
-            let victim = self.cache_members[proc].swap_remove(pos);
-            self.in_cache[proc][victim.idx()] = false;
-            self.push(DistEvent::Evict {
-                proc: proc as u32,
-                v: victim.idx() as u32,
-            });
-        }
-        if let Some(owner) = from {
-            if owner != proc {
-                // The word came over the network.
-                self.sent[owner] += 1;
-                self.received[proc] += 1;
-                self.total_words += 1;
-                self.push(DistEvent::Send {
-                    from: owner as u32,
-                    to: proc as u32,
-                    v: v.idx() as u32,
-                });
-                self.push(DistEvent::Recv {
-                    to: proc as u32,
-                    from: owner as u32,
-                    v: v.idx() as u32,
-                });
-            }
-        }
-        self.in_cache[proc][v.idx()] = true;
-        self.stamp[proc][v.idx()] = self.clock;
-        self.cache_members[proc].push(v);
-        if charge {
-            self.local_io[proc] += 1;
-        }
-        self.push(DistEvent::Insert {
-            proc: proc as u32,
-            v: v.idx() as u32,
-            charged: charge,
-        });
-    }
-
-    fn run(&mut self, assignment: &Assignment, order: &[VertexId]) {
-        for &v in order {
-            let me = assignment.of(v) as usize;
-            for &op in self.g.preds(v) {
-                let owner = assignment.of(op) as usize;
-                self.touch(me, op, true, Some(owner));
-            }
-            if !self.g.preds(v).is_empty() {
-                self.push(DistEvent::Exec {
-                    proc: me as u32,
-                    v: v.idx() as u32,
-                });
-            }
-            // The result occupies a slot; computing into cache is free.
-            self.touch(me, v, false, None);
-        }
-    }
-
-    fn totals(&self) -> DistRun {
-        DistRun {
-            total_words: self.total_words,
-            critical_path_words: self
-                .sent
-                .iter()
-                .zip(&self.received)
-                .map(|(&s, &r)| s + r)
-                .max()
-                .unwrap_or(0),
-            max_local_io: self.local_io.iter().copied().max().unwrap_or(0),
-            total_local_io: self.local_io.iter().sum(),
-        }
-    }
+/// Totals plus the optional contended-time accounting of one run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct DistOutcome {
+    /// The paper's word counts.
+    pub run: DistRun,
+    /// α-β-γ contended timing, when a machine model was attached.
+    pub contention: Option<ContentionReport>,
 }
 
 /// Simulates `order` under `assignment` with per-processor LRU caches of
-/// size `m`.
+/// size `m` (serial, uncontended — the classic entry point).
 ///
 /// # Panics
 /// Panics if `m` cannot hold any vertex's operand set.
-pub fn simulate(g: &Cdag, assignment: &Assignment, order: &[VertexId], m: usize) -> DistRun {
-    let mut sim = Sim::new(g, assignment.p as usize, m, false);
-    sim.run(assignment, order);
-    sim.totals()
+pub fn simulate<V: CdagView + Sync>(
+    g: &V,
+    assignment: &Assignment,
+    order: &[VertexId],
+    m: usize,
+) -> DistRun {
+    simulate_on(g, assignment, order, m, None, &Pool::serial()).run
 }
 
 /// Like [`simulate`], but also records the machine-level event stream for
@@ -257,22 +160,49 @@ pub fn simulate(g: &Cdag, assignment: &Assignment, order: &[VertexId], m: usize)
 ///
 /// # Panics
 /// Panics if `m` cannot hold any vertex's operand set.
-pub fn simulate_traced(
-    g: &Cdag,
+pub fn simulate_traced<V: CdagView + Sync>(
+    g: &V,
     assignment: &Assignment,
     order: &[VertexId],
     m: usize,
 ) -> DistTrace {
-    let mut sim = Sim::new(g, assignment.p as usize, m, true);
-    sim.run(assignment, order);
-    DistTrace {
-        p: assignment.p,
-        m,
-        claimed: sim.totals(),
-        sent: std::mem::take(&mut sim.sent),
-        received: std::mem::take(&mut sim.received),
-        events: sim.events.take().expect("traced"),
-    }
+    simulate_traced_on(g, assignment, order, m, None, &Pool::serial())
+}
+
+/// Full-control entry point: optional contention model, pooled rank
+/// stepping. Results are byte-identical at every thread count.
+///
+/// # Panics
+/// Panics if `m` cannot hold any vertex's operand set, or if the machine
+/// model's topology does not fit `assignment.p` ranks.
+pub fn simulate_on<V: CdagView + Sync>(
+    g: &V,
+    assignment: &Assignment,
+    order: &[VertexId],
+    m: usize,
+    machine: Option<MachineModel>,
+    pool: &Pool,
+) -> DistOutcome {
+    soa::run_soa(g, assignment, order, m, machine, false, pool).0
+}
+
+/// [`simulate_on`] with the full event stream (and, with a machine
+/// model, the claimed per-round contended loads) recorded for audit.
+///
+/// # Panics
+/// Panics if `m` cannot hold any vertex's operand set, or if the machine
+/// model's topology does not fit `assignment.p` ranks.
+pub fn simulate_traced_on<V: CdagView + Sync>(
+    g: &V,
+    assignment: &Assignment,
+    order: &[VertexId],
+    m: usize,
+    machine: Option<MachineModel>,
+    pool: &Pool,
+) -> DistTrace {
+    soa::run_soa(g, assignment, order, m, machine, true, pool)
+        .1
+        .expect("traced")
 }
 
 #[cfg(test)]
@@ -382,5 +312,76 @@ mod tests {
             .count();
         let non_inputs = g.vertices().filter(|&v| !g.preds(v).is_empty()).count();
         assert_eq!(execs, non_inputs);
+    }
+
+    #[test]
+    fn soa_matches_reference_exactly() {
+        let (g, order) = setup();
+        for p in [1u32, 4, 7, 13] {
+            for m in [8usize, 16, 64] {
+                let a = cyclic_per_rank(&g, p);
+                let fast = simulate_traced(&g, &a, &order, m);
+                let slow = reference::simulate_traced(&g, &a, &order, m);
+                assert_eq!(fast.claimed, slow.claimed, "p={p} m={m}");
+                assert_eq!(fast.sent, slow.sent, "p={p} m={m}");
+                assert_eq!(fast.received, slow.received, "p={p} m={m}");
+                assert_eq!(fast.events, slow.events, "p={p} m={m}");
+                assert_eq!(
+                    reference::simulate(&g, &a, &order, m),
+                    fast.claimed,
+                    "p={p} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stepping_is_byte_identical_to_serial() {
+        let (g, order) = setup();
+        let a = by_top_subproblem(&g, 13);
+        let mm = Some(MachineModel::new(Topology::Ring, 2, 1, 1));
+        let serial = simulate_traced_on(&g, &a, &order, 16, mm, &Pool::serial());
+        for threads in [2usize, 3, 8] {
+            let par = simulate_traced_on(&g, &a, &order, 16, mm, &Pool::new(threads));
+            assert_eq!(par.claimed, serial.claimed, "threads={threads}");
+            assert_eq!(par.events, serial.events, "threads={threads}");
+            assert_eq!(par.contention, serial.contention, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn contended_makespan_dominates_critical_path() {
+        let (g, order) = setup();
+        let a = cyclic_per_rank(&g, 9);
+        for topo in [Topology::Full, Topology::Ring, Topology::Torus2d { q: 3 }] {
+            let mm = MachineModel::new(topo, 1, 1, 0);
+            let out = simulate_on(&g, &a, &order, 16, Some(mm), &Pool::serial());
+            let c = out.contention.expect("contended");
+            assert!(
+                c.makespan >= out.run.critical_path_words,
+                "{topo:?}: makespan {} < critical path {}",
+                c.makespan,
+                out.run.critical_path_words
+            );
+            // Link occupancy conservation: per round, Σ over words of the
+            // route length equals hop_words, and words on Full equal hops.
+            let words: u64 = c.rounds.iter().map(|r| r.words).sum();
+            assert_eq!(words, out.run.total_words);
+            if matches!(topo, Topology::Full) {
+                for r in &c.rounds {
+                    assert_eq!(r.words, r.hop_words);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contention_report_is_absent_without_model() {
+        let (g, order) = setup();
+        let a = cyclic_per_rank(&g, 4);
+        let out = simulate_on(&g, &a, &order, 16, None, &Pool::serial());
+        assert!(out.contention.is_none());
+        let t = simulate_traced(&g, &a, &order, 16);
+        assert!(t.contention.is_none());
     }
 }

@@ -1,0 +1,445 @@
+//! Interconnect topologies and the contended-time machine model.
+//!
+//! The paper's counts (total words, per-rank critical path) assume a
+//! fully-connected machine where every word costs the same. Real
+//! interconnects serialize traffic on *links*: a ring forwards a word
+//! through every intermediate node, a 2D torus routes dimension-ordered
+//! (X then Y, shortest direction, ties towards positive). This module
+//! models that: each send is routed deterministically over directed
+//! links, loads accumulate per (round, link), and a round's contended
+//! time follows the classic α-β-γ cost model
+//!
+//! ```text
+//! time(ρ) = γ·max_execs(ρ) + α·max_hops(ρ) + β·max(max_link(ρ), max_rank(ρ))
+//! ```
+//!
+//! where the maxima range over ranks (execs; words sent+received — the
+//! NIC bottleneck) and directed links (forwarded words — the wire
+//! bottleneck). Rounds are the paper's global ranks (`0..=2r+1`): the
+//! round of a send or exec is the CDAG rank of its vertex, so the
+//! bucketing is derivable from the graph alone and the analyzer can
+//! recount it without trusting the engine.
+//!
+//! With `β ≥ 1` (enforced by [`MachineModel::new`]) the contended
+//! makespan dominates the uncontended critical path:
+//! `Σ_ρ max_rank(ρ) ≥ max_r Σ_ρ (sent_r + recv_r)(ρ) = critical_path_words`.
+
+use serde::{Serialize, Value};
+
+/// A point-to-point interconnect shape over `p` ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// Every pair of ranks shares a dedicated wire; the only bottleneck
+    /// is the per-rank NIC (no per-link load is tracked — a pair link's
+    /// load is always bounded by its endpoints' NIC loads).
+    Full,
+    /// A bidirectional ring: rank `i` links to `i±1 (mod p)`. Words take
+    /// the shorter direction; ties go forward (towards `+1`).
+    Ring,
+    /// A `q×q` bidirectional torus (`p = q²`), rank `= x + q·y`. Routing
+    /// is dimension-ordered: X first, then Y, each the shorter way
+    /// around, ties towards positive.
+    Torus2d {
+        /// Side length; `p` must equal `q²`.
+        q: u32,
+    },
+}
+
+impl Serialize for Topology {
+    fn to_value(&self) -> Value {
+        match *self {
+            Topology::Full => Value::Str("full".to_string()),
+            Topology::Ring => Value::Str("ring".to_string()),
+            Topology::Torus2d { q } => Value::Str(format!("torus{q}x{q}")),
+        }
+    }
+}
+
+impl Topology {
+    /// Parses a CLI spelling (`full`, `ring`, `torus`) against a rank
+    /// count, checking the torus side constraint.
+    pub fn parse(s: &str, p: u32) -> Result<Topology, String> {
+        let t = match s {
+            "full" => Topology::Full,
+            "ring" => Topology::Ring,
+            "torus" => {
+                let q = (p as f64).sqrt().round() as u32;
+                if q == 0 || q.checked_mul(q) != Some(p) {
+                    return Err(format!("--topo torus needs a square rank count, got {p}"));
+                }
+                Topology::Torus2d { q }
+            }
+            other => return Err(format!("unknown topology {other:?} (full|ring|torus)")),
+        };
+        t.validate(p)?;
+        Ok(t)
+    }
+
+    /// Checks that the topology is consistent with `p` ranks.
+    pub fn validate(&self, p: u32) -> Result<(), String> {
+        match *self {
+            Topology::Full | Topology::Ring => Ok(()),
+            Topology::Torus2d { q } => {
+                if q.checked_mul(q) == Some(p) && q > 0 {
+                    Ok(())
+                } else {
+                    Err(format!("torus side {q} does not square to {p} ranks"))
+                }
+            }
+        }
+    }
+
+    /// Number of directed links whose load is tracked. `Full` tracks
+    /// none (see the variant docs).
+    pub fn n_links(&self, p: u32) -> usize {
+        match self {
+            Topology::Full => 0,
+            Topology::Ring => 2 * p as usize,
+            Topology::Torus2d { .. } => 4 * p as usize,
+        }
+    }
+
+    /// Hop count of the deterministic route `from → to` (1 on `Full`).
+    pub fn hops(&self, p: u32, from: u32, to: u32) -> u64 {
+        match *self {
+            Topology::Full => 1,
+            Topology::Ring => {
+                let fwd = (to + p - from) % p;
+                u64::from(fwd.min(p - fwd))
+            }
+            Topology::Torus2d { q } => {
+                let dx = (to % q + q - from % q) % q;
+                let dy = (to / q + q - from / q) % q;
+                u64::from(dx.min(q - dx) + dy.min(q - dy))
+            }
+        }
+    }
+
+    /// Appends the directed link ids of the route `from → to` to `out`
+    /// (cleared first). Empty on `Full` — no per-link tracking. Link
+    /// ids: ring `2·node + {0:+1, 1:−1}`, torus `4·node + {0:x+, 1:x−,
+    /// 2:y+, 3:y−}`, where `node` is the rank the word departs from.
+    pub fn route_into(&self, p: u32, from: u32, to: u32, out: &mut Vec<u32>) {
+        out.clear();
+        match *self {
+            Topology::Full => {}
+            Topology::Ring => {
+                let fwd = (to + p - from) % p;
+                let mut cur = from;
+                if fwd <= p - fwd {
+                    for _ in 0..fwd {
+                        out.push(2 * cur);
+                        cur = (cur + 1) % p;
+                    }
+                } else {
+                    for _ in 0..(p - fwd) {
+                        out.push(2 * cur + 1);
+                        cur = (cur + p - 1) % p;
+                    }
+                }
+            }
+            Topology::Torus2d { q } => {
+                let (mut x, mut y) = (from % q, from / q);
+                let (tx, ty) = (to % q, to / q);
+                let fx = (tx + q - x) % q;
+                if fx <= q - fx {
+                    for _ in 0..fx {
+                        out.push(4 * (x + q * y));
+                        x = (x + 1) % q;
+                    }
+                } else {
+                    for _ in 0..(q - fx) {
+                        out.push(4 * (x + q * y) + 1);
+                        x = (x + q - 1) % q;
+                    }
+                }
+                let fy = (ty + q - y) % q;
+                if fy <= q - fy {
+                    for _ in 0..fy {
+                        out.push(4 * (x + q * y) + 2);
+                        y = (y + 1) % q;
+                    }
+                } else {
+                    for _ in 0..(q - fy) {
+                        out.push(4 * (x + q * y) + 3);
+                        y = (y + q - 1) % q;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The α-β-γ cost parameters attached to a [`Topology`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct MachineModel {
+    /// Interconnect shape.
+    pub topo: Topology,
+    /// Per-round latency charge per hop of the longest route used (α).
+    pub alpha: u64,
+    /// Inverse bandwidth: time per word on the busiest link/NIC (β ≥ 1,
+    /// so the makespan dominates the uncontended critical path).
+    pub beta: u64,
+    /// Compute time per executed vertex on the busiest rank (γ).
+    pub gamma: u64,
+}
+
+impl MachineModel {
+    /// Builds a model.
+    ///
+    /// # Panics
+    /// Panics if `beta == 0`: the makespan ≥ critical-path-words contract
+    /// needs at least one time unit per word.
+    pub fn new(topo: Topology, alpha: u64, beta: u64, gamma: u64) -> MachineModel {
+        assert!(beta >= 1, "inverse bandwidth must be >= 1, got {beta}");
+        MachineModel {
+            topo,
+            alpha,
+            beta,
+            gamma,
+        }
+    }
+}
+
+/// Per-round contended load summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct RoundLoad {
+    /// The CDAG rank this round executes (`0..=2r+1`).
+    pub round: u32,
+    /// Words sent in this round.
+    pub words: u64,
+    /// Words × hops: total link occupancy in this round (equals `words`
+    /// on `Full`, where every route is one hop).
+    pub hop_words: u64,
+    /// Longest route (hops) of any send this round.
+    pub max_hops: u64,
+    /// Busiest directed link (forwarded words); 0 on `Full`.
+    pub max_link_words: u64,
+    /// Busiest rank (words sent + received).
+    pub max_rank_words: u64,
+    /// Busiest rank (vertices executed).
+    pub max_execs: u64,
+    /// `γ·max_execs + α·max_hops + β·max(max_link_words, max_rank_words)`.
+    pub time: u64,
+}
+
+/// The full contended-time accounting of one run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct ContentionReport {
+    /// The model that produced the timing.
+    pub machine: MachineModel,
+    /// One entry per CDAG rank, in rank order (empty rounds included).
+    pub rounds: Vec<RoundLoad>,
+    /// Sum of the per-round times.
+    pub makespan: u64,
+}
+
+/// Flat per-(round, rank) and per-(round, link) load accumulators. Each
+/// simulation shard owns one; shards merge by elementwise sum (loads)
+/// and max (hop maxima), so the totals are independent of sharding.
+#[derive(Clone, Debug)]
+pub(crate) struct ContAcc {
+    p: usize,
+    rounds: usize,
+    n_links: usize,
+    words: Vec<u64>,
+    hop_words: Vec<u64>,
+    max_hops: Vec<u64>,
+    rank_words: Vec<u64>,
+    execs: Vec<u64>,
+    link_words: Vec<u64>,
+    route: Vec<u32>,
+}
+
+impl ContAcc {
+    pub(crate) fn new(machine: &MachineModel, p: usize, rounds: usize) -> ContAcc {
+        let n_links = machine.topo.n_links(p as u32);
+        ContAcc {
+            p,
+            rounds,
+            n_links,
+            words: vec![0; rounds],
+            hop_words: vec![0; rounds],
+            max_hops: vec![0; rounds],
+            rank_words: vec![0; rounds * p],
+            execs: vec![0; rounds * p],
+            link_words: vec![0; rounds * n_links],
+            route: Vec::new(),
+        }
+    }
+
+    pub(crate) fn record_send(&mut self, machine: &MachineModel, round: usize, from: u32, to: u32) {
+        let p = self.p as u32;
+        self.words[round] += 1;
+        self.rank_words[round * self.p + from as usize] += 1;
+        self.rank_words[round * self.p + to as usize] += 1;
+        let h = machine.topo.hops(p, from, to);
+        self.hop_words[round] += h;
+        self.max_hops[round] = self.max_hops[round].max(h);
+        if self.n_links > 0 {
+            let mut route = std::mem::take(&mut self.route);
+            machine.topo.route_into(p, from, to, &mut route);
+            for &link in &route {
+                self.link_words[round * self.n_links + link as usize] += 1;
+            }
+            self.route = route;
+        }
+    }
+
+    pub(crate) fn record_exec(&mut self, round: usize, proc: u32) {
+        self.execs[round * self.p + proc as usize] += 1;
+    }
+
+    /// Elementwise merge of another shard's accumulator (same shape).
+    pub(crate) fn merge(&mut self, other: &ContAcc) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a += b;
+        }
+        for (a, b) in self.hop_words.iter_mut().zip(&other.hop_words) {
+            *a += b;
+        }
+        for (a, b) in self.max_hops.iter_mut().zip(&other.max_hops) {
+            *a = (*a).max(*b);
+        }
+        for (a, b) in self.rank_words.iter_mut().zip(&other.rank_words) {
+            *a += b;
+        }
+        for (a, b) in self.execs.iter_mut().zip(&other.execs) {
+            *a += b;
+        }
+        for (a, b) in self.link_words.iter_mut().zip(&other.link_words) {
+            *a += b;
+        }
+    }
+
+    pub(crate) fn report(&self, machine: MachineModel) -> ContentionReport {
+        let mut rounds = Vec::with_capacity(self.rounds);
+        let mut makespan = 0u64;
+        for r in 0..self.rounds {
+            let max_rank_words = self.rank_words[r * self.p..(r + 1) * self.p]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            let max_execs = self.execs[r * self.p..(r + 1) * self.p]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            let max_link_words = self.link_words[r * self.n_links..(r + 1) * self.n_links]
+                .iter()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            let load = RoundLoad {
+                round: r as u32,
+                words: self.words[r],
+                hop_words: self.hop_words[r],
+                max_hops: self.max_hops[r],
+                max_link_words,
+                max_rank_words,
+                max_execs,
+                time: round_time(
+                    &machine,
+                    max_execs,
+                    self.max_hops[r],
+                    max_link_words,
+                    max_rank_words,
+                ),
+            };
+            makespan += load.time;
+            rounds.push(load);
+        }
+        ContentionReport {
+            machine,
+            rounds,
+            makespan,
+        }
+    }
+}
+
+/// The α-β-γ round-time formula, shared with the analyzer's recount.
+pub fn round_time(
+    machine: &MachineModel,
+    max_execs: u64,
+    max_hops: u64,
+    max_link_words: u64,
+    max_rank_words: u64,
+) -> u64 {
+    machine.gamma * max_execs
+        + machine.alpha * max_hops
+        + machine.beta * max_link_words.max(max_rank_words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_routes_take_the_short_way() {
+        let t = Topology::Ring;
+        let mut route = Vec::new();
+        // 0 → 2 of 8: forward through links 0, 2.
+        t.route_into(8, 0, 2, &mut route);
+        assert_eq!(route, vec![0, 2]);
+        assert_eq!(t.hops(8, 0, 2), 2);
+        // 0 → 6 of 8: backward through 0−, 7−.
+        t.route_into(8, 0, 6, &mut route);
+        assert_eq!(route, vec![1, 15]);
+        assert_eq!(t.hops(8, 0, 6), 2);
+        // Antipodal tie goes forward.
+        t.route_into(8, 0, 4, &mut route);
+        assert_eq!(route.len(), 4);
+        assert!(route.iter().all(|l| l % 2 == 0));
+    }
+
+    #[test]
+    fn torus_routes_are_dimension_ordered() {
+        let t = Topology::Torus2d { q: 4 };
+        let mut route = Vec::new();
+        // (0,0) → (2,1) of 4×4: x+,x+ then y+. Rank 0 → rank 6.
+        t.route_into(16, 0, 6, &mut route);
+        // Link ids: x+ from node 0, x+ from node 1, y+ from node 2.
+        assert_eq!(route, vec![0, 4, 4 * 2 + 2]);
+        assert_eq!(t.hops(16, 0, 6), 3);
+    }
+
+    #[test]
+    fn route_length_matches_hops_everywhere() {
+        let mut route = Vec::new();
+        for (topo, p) in [
+            (Topology::Ring, 7u32),
+            (Topology::Ring, 8),
+            (Topology::Torus2d { q: 3 }, 9),
+            (Topology::Torus2d { q: 4 }, 16),
+        ] {
+            for from in 0..p {
+                for to in 0..p {
+                    if from == to {
+                        continue;
+                    }
+                    topo.route_into(p, from, to, &mut route);
+                    assert_eq!(
+                        route.len() as u64,
+                        topo.hops(p, from, to),
+                        "{topo:?} {from}->{to}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_checks_square() {
+        assert!(Topology::parse("torus", 16).is_ok());
+        assert!(Topology::parse("torus", 12).is_err());
+        assert!(Topology::parse("ring", 5).is_ok());
+        assert!(Topology::parse("hypercube", 8).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse bandwidth")]
+    fn zero_beta_is_rejected() {
+        MachineModel::new(Topology::Full, 0, 0, 0);
+    }
+}

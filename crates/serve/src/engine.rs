@@ -222,7 +222,12 @@ impl Engine {
                     }
                 );
                 if started && !done && self.workers.replace_wedged() {
-                    detail.push_str("; wedged worker replaced");
+                    // Name the replacement's own diagnostic code so log
+                    // scrapers can count replacements separately from
+                    // plain deadline misses.
+                    detail.push_str("; wedged worker replaced (");
+                    detail.push_str(codes::SERVE_WORKER_REPLACED);
+                    detail.push(')');
                 }
                 Response::fail(id, Status::DeadlineExceeded, codes::SERVE_DEADLINE, detail)
             }

@@ -126,6 +126,13 @@ fn wedged_job_times_out_typed_and_worker_is_replaced() {
         1,
         "wedge must trigger replacement"
     );
+    // The detail names the replacement's own code (MMIO-F009) so the
+    // replacement is visible in the reply, not just in engine counters.
+    let error = wedged.error.as_deref().unwrap_or_default();
+    assert!(
+        error.contains(codes::SERVE_WORKER_REPLACED),
+        "deadline detail should name the replacement code: {error:?}"
+    );
 
     // The replacement serves immediately — no waiting out the wedge.
     let next = submit_bounded(&engine, certify(2, Some(30_000)));
